@@ -1,0 +1,185 @@
+package drampower
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// toggles one modeling decision on the calibrated DDR3 device and reports
+// the resulting energy-per-bit shift, quantifying how much the conclusion
+// depends on the choice.
+
+import (
+	"testing"
+
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+func ePerBit(b *testing.B, d *desc.Description) float64 {
+	b.Helper()
+	m, err := Build(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.EnergyPerBitIDD7().Picojoules()
+}
+
+// BenchmarkAblation_PageSize sweeps the activation fraction — the knob
+// behind every Section V row-energy scheme — and reports the energy at
+// full, half and eighth page activation.
+func BenchmarkAblation_PageSize(b *testing.B) {
+	base := Sample1GbDDR3()
+	for i := 0; i < b.N; i++ {
+		for _, f := range []float64{1, 0.5, 0.125} {
+			d := base.Clone()
+			d.Floorplan.ActivationFraction = f
+			if _, err := Build(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	full := ePerBit(b, base)
+	half := func() float64 {
+		d := base.Clone()
+		d.Floorplan.ActivationFraction = 0.5
+		return ePerBit(b, d)
+	}()
+	eighth := func() float64 {
+		d := base.Clone()
+		d.Floorplan.ActivationFraction = 0.125
+		return ePerBit(b, d)
+	}()
+	b.ReportMetric(full, "pJ-full-page")
+	b.ReportMetric(half, "pJ-half-page")
+	b.ReportMetric(eighth, "pJ-eighth-page")
+}
+
+// BenchmarkAblation_PumpEfficiency sweeps the Vpp charge-pump efficiency:
+// the paper's Pareto shows it matters little because the Vpp charge is
+// small; this ablation quantifies that.
+func BenchmarkAblation_PumpEfficiency(b *testing.B) {
+	base := Sample1GbDDR3()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ideal := func() float64 {
+		d := base.Clone()
+		d.Electrical.EffPp = 1.0
+		return ePerBit(b, d)
+	}()
+	poor := func() float64 {
+		d := base.Clone()
+		d.Electrical.EffPp = 0.25
+		return ePerBit(b, d)
+	}()
+	b.ReportMetric(ePerBit(b, base), "pJ-baseline")
+	b.ReportMetric(ideal, "pJ-ideal-pump")
+	b.ReportMetric(poor, "pJ-quarter-pump")
+}
+
+// BenchmarkAblation_BitsPerCSL sweeps the column granularity: more bits
+// per column-select pulse amortize the CSL wire charge (the mechanism
+// behind the paper's 8:1 proposal).
+func BenchmarkAblation_BitsPerCSL(b *testing.B) {
+	base := Sample1GbDDR3()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, n := range []int{4, 8, 32} {
+		d := base.Clone()
+		d.Technology.BitsPerCSL = n
+		m, err := Build(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := m.Charges(OpRead).EnergyFromVdd(d.Electrical)
+		b.ReportMetric(float64(e)/1e-12, "pJ-read-csl"+itoa(n))
+	}
+}
+
+// BenchmarkAblation_DataToggle sweeps the data-bus toggle assumption
+// (charging events per bit): precharged/pulsed buses cost up to 4x the
+// random-data minimum.
+func BenchmarkAblation_DataToggle(b *testing.B) {
+	base := Sample1GbDDR3()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, tog := range []float64{0.25, 0.5, 1.0} {
+		d := base.Clone()
+		for i := range d.Signals {
+			k := d.Signals[i].Kind
+			if k == desc.SigDataRead || k == desc.SigDataWrite || k == desc.SigDataShared {
+				d.Signals[i].Toggle = tog
+			}
+		}
+		b.ReportMetric(ePerBit(b, d), "pJ-toggle-"+ftoa(tog))
+	}
+}
+
+// BenchmarkAblation_CuMetallization quantifies the Table II Cu step: the
+// 44 nm device with and without the wiring-capacitance improvement.
+func BenchmarkAblation_CuMetallization(b *testing.B) {
+	n, err := NodeFor(44)
+	if err != nil {
+		b.Fatal(err)
+	}
+	with := n.Description()
+	without := with.Clone()
+	// Undo the 0.85x Cu factor on all wiring capacitances.
+	const cu = 0.85
+	without.Technology.WireCapSignal = units.CapacitancePerLength(float64(without.Technology.WireCapSignal) / cu)
+	without.Technology.WireCapMWL = units.CapacitancePerLength(float64(without.Technology.WireCapMWL) / cu)
+	without.Technology.WireCapLWL = units.CapacitancePerLength(float64(without.Technology.WireCapLWL) / cu)
+	without.Technology.BitlineCap = units.Capacitance(float64(without.Technology.BitlineCap) / cu)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(with); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ePerBit(b, with), "pJ-with-Cu")
+	b.ReportMetric(ePerBit(b, without), "pJ-without-Cu")
+}
+
+// BenchmarkAblation_PowerDown reports the standby power with and without
+// the power-down state (the controller-side opportunity of Section V).
+func BenchmarkAblation_PowerDown(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = m.PowerDownPower()
+	}
+	b.ReportMetric(float64(m.Background().Power)/1e-3, "mW-standby")
+	b.ReportMetric(float64(m.PowerDownPower())/1e-3, "mW-powerdown")
+	b.ReportMetric(m.PowerDownSavings()*100, "savings-pct")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	switch {
+	case f == 0.25:
+		return "0.25"
+	case f == 0.5:
+		return "0.5"
+	default:
+		return "1.0"
+	}
+}

@@ -1,0 +1,300 @@
+package drampower
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// measures the cost of regenerating its artifact and reports the headline
+// numbers of that artifact as custom metrics, so a `go test -bench=.`
+// run doubles as the reproduction log. The full row/series output is
+// printed by the cmd/ tools (dramverify, dramsweep, dramtrends,
+// dramschemes).
+
+import (
+	"math"
+	"testing"
+
+	"drampower/internal/datasheet"
+	"drampower/internal/desc"
+	"drampower/internal/scaling"
+	"drampower/internal/schemes"
+	"drampower/internal/sensitivity"
+	"drampower/internal/trace"
+)
+
+// BenchmarkTableI_ParameterRegistry regenerates the Table I parameter
+// inventory (E1): parsing a full description exercises every parameter of
+// the input language.
+func BenchmarkTableI_ParameterRegistry(b *testing.B) {
+	src := Format(Sample1GbDDR3())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(desc.TechnologyParameterNames())), "tech-params")
+}
+
+// BenchmarkTableII_DisruptiveChanges regenerates Table II (E2).
+func BenchmarkTableII_DisruptiveChanges(b *testing.B) {
+	b.ReportMetric(float64(len(scaling.DisruptiveChanges())), "rows")
+	for i := 0; i < b.N; i++ {
+		_ = scaling.DisruptiveChanges()
+	}
+}
+
+// BenchmarkFig5_TechScaling regenerates the Figure 5 shrink curves (E3).
+func BenchmarkFig5_TechScaling(b *testing.B) {
+	benchShrink(b, scaling.Figure5Families())
+}
+
+// BenchmarkFig6_MiscScaling regenerates the Figure 6 shrink curves (E4).
+func BenchmarkFig6_MiscScaling(b *testing.B) {
+	benchShrink(b, scaling.Figure6Families())
+}
+
+// BenchmarkFig7_CoreDeviceScaling regenerates the Figure 7 curves (E5).
+func BenchmarkFig7_CoreDeviceScaling(b *testing.B) {
+	benchShrink(b, scaling.Figure7Families())
+}
+
+func benchShrink(b *testing.B, families []string) {
+	b.Helper()
+	nodes, rows := scaling.ShrinkTable(families)
+	// Report the final shrink of the first family vs. the feature shrink:
+	// the qualitative content is "parameters shrink more slowly than f".
+	last := len(nodes) - 1
+	fshrink := scaling.FShrinkSeries()[last]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = scaling.ShrinkTable(families)
+	}
+	b.ReportMetric(fshrink, "f-shrink-170-to-16")
+	b.ReportMetric(rows[families[0]][last], families[0][:min(len(families[0]), 20)])
+}
+
+// BenchmarkFig8_DDR2Verification regenerates the Figure 8 datasheet
+// comparison (E6) and reports how many points fall inside the vendor
+// spread.
+func BenchmarkFig8_DDR2Verification(b *testing.B) {
+	benchVerify(b, datasheet.DDR2)
+}
+
+// BenchmarkFig9_DDR3Verification regenerates Figure 9 (E7).
+func BenchmarkFig9_DDR3Verification(b *testing.B) {
+	benchVerify(b, datasheet.DDR3)
+}
+
+func benchVerify(b *testing.B, std datasheet.Standard) {
+	b.Helper()
+	rows, err := datasheet.Compare(std)
+	if err != nil {
+		b.Fatal(err)
+	}
+	within := 0
+	for _, c := range rows {
+		if c.WithinSpread(0.25) {
+			within++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datasheet.Compare(std); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(within), "points-within-spread")
+	b.ReportMetric(float64(len(rows)), "points-total")
+}
+
+// BenchmarkFig10_SensitivityPareto regenerates the ±20% parameter sweep
+// (E8) on the 2G DDR3 55nm device and reports the top sensitivity.
+func BenchmarkFig10_SensitivityPareto(b *testing.B) {
+	n, err := scaling.NodeFor(55)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := n.Description()
+	res, err := sensitivity.Sweep(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.Sweep(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res[0].RangePct, "top-range-pct")
+}
+
+// BenchmarkTableIII_Top10Ranking regenerates the Table III rankings (E9)
+// for the three paper devices and reports whether Vint leads all three.
+func BenchmarkTableIII_Top10Ranking(b *testing.B) {
+	nodes := []float64{170, 55, 18}
+	vintFirst := 0
+	for _, nm := range nodes {
+		n, err := scaling.NodeFor(nm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sensitivity.Sweep(n.Description())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res[0].Name == "Internal voltage Vint" {
+			vintFirst++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _ := scaling.NodeFor(55)
+		if _, err := sensitivity.Sweep(n.Description()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(vintFirst), "devices-with-Vint-first")
+}
+
+// BenchmarkFig11_VoltageTrends regenerates the voltage roadmap (E10).
+func BenchmarkFig11_VoltageTrends(b *testing.B) {
+	nodes := scaling.Roadmap()
+	b.ReportMetric(float64(nodes[0].Vdd), "Vdd-170nm")
+	b.ReportMetric(float64(nodes[len(nodes)-1].Vdd), "Vdd-16nm")
+	for i := 0; i < b.N; i++ {
+		_ = scaling.Roadmap()
+	}
+}
+
+// BenchmarkFig12_TimingTrends regenerates the data-rate / timing roadmap
+// (E11) and reports the bandwidth growth against the near-flat tRC.
+func BenchmarkFig12_TimingTrends(b *testing.B) {
+	nodes := scaling.Roadmap()
+	first, last := nodes[0], nodes[len(nodes)-1]
+	b.ReportMetric(float64(last.DataRate)/float64(first.DataRate), "datarate-growth")
+	b.ReportMetric(float64(first.TRC)/float64(last.TRC), "tRC-ratio")
+	for i := 0; i < b.N; i++ {
+		_ = scaling.Roadmap()
+	}
+}
+
+// BenchmarkFig13_EnergyPerBitTrend regenerates the energy-per-bit trend
+// (E12) across the full roadmap and reports the historic and forecast
+// per-generation reduction factors (paper: ~1.5x and ~1.2x).
+func BenchmarkFig13_EnergyPerBitTrend(b *testing.B) {
+	energies := map[float64]float64{}
+	for _, n := range scaling.Roadmap() {
+		m, err := Build(n.Description())
+		if err != nil {
+			b.Fatal(err)
+		}
+		energies[n.FeatureNm] = float64(m.EnergyPerBitIDD7())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range scaling.Roadmap() {
+			m, err := Build(n.Description())
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = m.EnergyPerBitIDD7()
+		}
+	}
+	b.ReportMetric(math.Pow(energies[170]/energies[44], 1.0/7), "historic-x-per-gen")
+	b.ReportMetric(math.Pow(energies[44]/energies[16], 1.0/6), "forecast-x-per-gen")
+	b.ReportMetric(energies[55]/1e-12, "pJ-per-bit-55nm")
+}
+
+// BenchmarkSecV_SchemeComparison regenerates the Section V scheme
+// comparison (E13) and reports the best energy saving and its area cost.
+func BenchmarkSecV_SchemeComparison(b *testing.B) {
+	d := Sample1GbDDR3()
+	res, err := schemes.Evaluate(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	best := 0.0
+	bestArea := 0.0
+	for _, r := range res[1:] {
+		if r.EnergyDeltaPct < best {
+			best = r.EnergyDeltaPct
+			bestArea = r.AreaDeltaPct
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schemes.Evaluate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(-best, "best-energy-saving-pct")
+	b.ReportMetric(bestArea, "its-area-cost-pct")
+}
+
+// ---- engine micro-benchmarks (hot paths) ----
+
+// BenchmarkParse measures parsing a full description file.
+func BenchmarkParse(b *testing.B) {
+	src := Format(Sample1GbDDR3())
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuild measures model resolution (geometry + capacitances).
+func BenchmarkBuild(b *testing.B) {
+	d := Sample1GbDDR3()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatePattern measures a full pattern evaluation.
+func BenchmarkEvaluatePattern(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = m.Evaluate()
+	}
+}
+
+// BenchmarkIDD measures the full IDD suite evaluation.
+func BenchmarkIDD(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = m.IDD()
+	}
+}
+
+// BenchmarkTraceSimulation measures the command-trace simulator on a
+// closed-page workload.
+func BenchmarkTraceSimulation(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1000, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Evaluate(m, cmds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cmds)), "commands")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

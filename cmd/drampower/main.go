@@ -1,0 +1,169 @@
+// Command drampower evaluates a DRAM description: it parses a .dram input
+// file (or uses the built-in 1 Gb DDR3 sample), runs the power engine and
+// prints the per-operation energies, the datasheet-style IDD currents, the
+// pattern power and the component breakdown — the outputs of the program
+// flow in Figure 4 of the paper.
+//
+// Usage:
+//
+//	drampower [-f device.dram] [-pattern "act nop rd nop pre nop"] [-v]
+//	drampower -params      # list all Table I technology parameters
+//	drampower -emit        # print the sample description in the input language
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"drampower/internal/circuits"
+	"drampower/internal/core"
+	"drampower/internal/desc"
+)
+
+func main() {
+	file := flag.String("f", "", "description file (.dram); default: built-in 1Gb DDR3 sample")
+	pattern := flag.String("pattern", "", "override the command pattern, e.g. \"act nop rd nop pre nop\"")
+	verbose := flag.Bool("v", false, "print the full charge-item breakdown per operation")
+	emit := flag.Bool("emit", false, "print the description in the input language and exit")
+	params := flag.Bool("params", false, "list the technology parameter names (Table I) and exit")
+	flag.Parse()
+
+	if *params {
+		for _, n := range desc.TechnologyParameterNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	d, err := load(*file)
+	if err != nil {
+		fatal(err)
+	}
+	if *emit {
+		fmt.Print(desc.Format(d))
+		return
+	}
+	if *pattern != "" {
+		loop, err := parsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		d.Pattern = desc.Pattern{Loop: loop}
+	}
+
+	m, err := core.Build(d)
+	if err != nil {
+		fatal(err)
+	}
+	report(m, *verbose)
+}
+
+func load(path string) (*desc.Description, error) {
+	if path == "" {
+		return desc.Sample1GbDDR3(), nil
+	}
+	return desc.ParseFile(path)
+}
+
+func parsePattern(s string) ([]desc.Op, error) {
+	var loop []desc.Op
+	for _, tok := range strings.Fields(s) {
+		op, err := desc.ParseOp(tok)
+		if err != nil {
+			return nil, err
+		}
+		loop = append(loop, op)
+	}
+	if len(loop) == 0 {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	return loop, nil
+}
+
+func report(m *core.Model, verbose bool) {
+	d := m.D
+	fmt.Printf("Device: %s\n", d.Name)
+	fmt.Printf("  die %.1f x %.1f mm = %.1f mm², %d banks, page %d bits, %d sub-arrays/bank\n",
+		m.Grid.Width.Micrometers()/1000, m.Grid.Height.Micrometers()/1000,
+		float64(m.DieArea())/1e-6, d.Spec.Banks(), m.Array.PageBits,
+		m.Array.SubarraysAlongBL*m.Array.SubarraysAlongWL)
+	fmt.Printf("  interface x%d @ %s, Vdd %s / Vint %s / Vbl %s / Vpp %s\n\n",
+		d.Spec.IOWidth, d.Spec.DataRate, d.Electrical.Vdd, d.Electrical.Vint,
+		d.Electrical.Vbl, d.Electrical.Vpp)
+
+	fmt.Println("Per-operation energy (referred to Vdd):")
+	for _, op := range []desc.Op{desc.OpActivate, desc.OpPrecharge, desc.OpRead,
+		desc.OpWrite, desc.OpRefresh} {
+		oc := m.Charges(op)
+		fmt.Printf("  %-4s %10s", op, oc.EnergyFromVdd(d.Electrical))
+		if op == desc.OpRead || op == desc.OpWrite {
+			perBit := float64(oc.EnergyFromVdd(d.Electrical)) / float64(m.BitsPerBurst())
+			fmt.Printf("  (%5.2f pJ/bit over %d bits)", perBit/1e-12, m.BitsPerBurst())
+		}
+		fmt.Println()
+		if verbose {
+			for _, it := range oc.Items {
+				v, _ := d.Electrical.DomainVoltageAndEff(it.Domain)
+				fmt.Printf("        %-32s %-9s %-5s x%-8.1f %10s\n",
+					it.Name, it.Group, it.Domain, it.Events, it.Energy(v))
+			}
+		}
+	}
+
+	bg := m.Background()
+	fmt.Printf("\nBackground power: %s\n", bg.Power)
+	if verbose {
+		for _, it := range bg.Items {
+			fmt.Printf("        %-32s %-9s %10s\n", it.Name, it.Group, it.Power)
+		}
+	}
+
+	idd := m.IDD()
+	fmt.Println("\nDatasheet currents:")
+	fmt.Printf("  IDD0  %8.1f mA   (activate-precharge cycling)\n", idd.IDD0.Milliamps())
+	fmt.Printf("  IDD2N %8.1f mA   (precharge standby)\n", idd.IDD2N.Milliamps())
+	fmt.Printf("  IDD2P %8.1f mA   (precharge power-down)\n", m.IDD2P().Milliamps())
+	fmt.Printf("  IDD3N %8.1f mA   (active standby)\n", idd.IDD3N.Milliamps())
+	fmt.Printf("  IDD4R %8.1f mA   (gapless reads)\n", idd.IDD4R.Milliamps())
+	fmt.Printf("  IDD4W %8.1f mA   (gapless writes)\n", idd.IDD4W.Milliamps())
+	fmt.Printf("  IDD5  %8.1f mA   (auto refresh)\n", idd.IDD5.Milliamps())
+	fmt.Printf("  IDD7  %8.1f mA   (interleaved act/rd/pre)\n", idd.IDD7.Milliamps())
+
+	res := m.Evaluate()
+	fmt.Printf("\nPattern \"%s\":\n", d.Pattern.String())
+	fmt.Printf("  power %s  current %s", res.Power, res.Current)
+	if res.EnergyPerBit > 0 {
+		fmt.Printf("  energy/bit %.2f pJ", res.EnergyPerBit.Picojoules())
+	}
+	fmt.Println()
+
+	fmt.Println("  by group:")
+	type kv struct {
+		g circuits.Group
+		p float64
+	}
+	var rows []kv
+	for g, p := range res.ByGroup {
+		rows = append(rows, kv{g, float64(p)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p > rows[j].p })
+	for _, r := range rows {
+		fmt.Printf("    %-9s %10.2f mW  (%4.1f%%)\n", r.g, r.p/1e-3,
+			100*r.p/float64(res.Power))
+	}
+	fmt.Println("  by domain:")
+	for _, dom := range desc.AllDomains {
+		if p, ok := res.ByDomain[dom]; ok {
+			fmt.Printf("    %-9s %10.2f mW  (%4.1f%%)\n", dom, float64(p)/1e-3,
+				100*float64(p)/float64(res.Power))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drampower:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command dramschemes regenerates the comparison of proposed DRAM power
+// reduction schemes of Section V of the paper: selective bitline
+// activation and single sub-array access (Udipi et al.), segmented data
+// lines (Jeong et al.), the paper's own reduced-page 8:1 column
+// architecture, and a per-device view of mini-rank style width reduction
+// (Zheng et al.). For each scheme it reports the energy per bit in the
+// interleaved pattern and the die-area impact.
+//
+// Usage:
+//
+//	dramschemes                # evaluate on the built-in 1 Gb DDR3 sample
+//	dramschemes -node 36       # evaluate on a roadmap device
+//	dramschemes -f device.dram # evaluate on a description file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drampower/internal/desc"
+	"drampower/internal/scaling"
+	"drampower/internal/schemes"
+)
+
+func main() {
+	node := flag.Float64("node", 0, "baseline roadmap node (feature size in nm)")
+	file := flag.String("f", "", "baseline description file")
+	notes := flag.Bool("notes", false, "print the feasibility notes")
+	flag.Parse()
+
+	var d *desc.Description
+	switch {
+	case *file != "":
+		var err error
+		d, err = desc.ParseFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+	case *node != 0:
+		n, err := scaling.NodeFor(*node)
+		if err != nil {
+			fatal(err)
+		}
+		d = n.Description()
+	default:
+		d = desc.Sample1GbDDR3()
+	}
+
+	res, err := schemes.Evaluate(d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Section V: power reduction schemes on %s\n", d.Name)
+	fmt.Printf("  %-36s %12s %8s %11s %8s %8s\n",
+		"scheme", "e/bit [pJ]", "Δenergy", "area [mm²]", "Δarea", "IDD7")
+	for _, r := range res {
+		fmt.Printf("  %-36s %12.2f %+7.1f%% %11.1f %+7.1f%% %6.0fmA\n",
+			r.Name, r.EnergyPerBit.Picojoules(), r.EnergyDeltaPct,
+			r.DieAreaMM2, r.AreaDeltaPct, r.IDD7.Milliamps())
+	}
+	fmt.Println()
+	for _, r := range res[1:] {
+		fmt.Printf("  %-36s %s\n", r.Name, schemes.ParetoNote(r))
+		if *notes && r.Notes != "" {
+			fmt.Printf("  %36s   %s (%s)\n", "", r.Notes, r.Source)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramschemes:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command dramsweep regenerates the power-sensitivity Pareto of
+// Section IV.B of the paper: Figure 10 (change of power consumption per
+// ±20 % parameter variation) and Table III (the top-10 ranking for the
+// 128M SDR 170nm, 2G DDR3 55nm and 16G DDR5 18nm devices).
+//
+// Usage:
+//
+//	dramsweep                 # Figure 10 bars for the three paper devices
+//	dramsweep -top10          # Table III
+//	dramsweep -node 55        # a single node
+//	dramsweep -f device.dram  # sweep a description file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"drampower/internal/desc"
+	"drampower/internal/scaling"
+	"drampower/internal/sensitivity"
+)
+
+var paperNodes = []float64{170, 55, 18}
+
+func main() {
+	top10 := flag.Bool("top10", false, "print Table III (top-10 ranking per device)")
+	node := flag.Float64("node", 0, "sweep a single roadmap node (feature size in nm)")
+	file := flag.String("f", "", "sweep a description file instead of roadmap devices")
+	flag.Parse()
+
+	switch {
+	case *file != "":
+		d, err := desc.ParseFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		sweepOne(d.Name, d, false)
+	case *node != 0:
+		n, err := scaling.NodeFor(*node)
+		if err != nil {
+			fatal(err)
+		}
+		sweepOne(n.Name(), n.Description(), *top10)
+	case *top10:
+		tableIII()
+	default:
+		for _, nm := range paperNodes {
+			n, err := scaling.NodeFor(nm)
+			if err != nil {
+				fatal(err)
+			}
+			sweepOne(n.Name(), n.Description(), false)
+		}
+	}
+}
+
+func sweepOne(name string, d *desc.Description, top10 bool) {
+	res, err := sensitivity.Sweep(d)
+	if err != nil {
+		fatal(err)
+	}
+	if top10 {
+		res = sensitivity.Top(res, 10)
+	}
+	fmt.Printf("Figure 10: power change per ±20%% parameter variation — %s\n", name)
+	fmt.Printf("  %-40s %7s %8s %8s\n", "parameter", "range", "+20%", "-20%")
+	for _, r := range res {
+		bar := strings.Repeat("#", int(r.RangePct/2+0.5))
+		fmt.Printf("  %-40s %6.1f%% %+7.1f%% %+7.1f%%  %s\n",
+			r.Name, r.RangePct, r.DeltaUpPct, r.DeltaDownPct, bar)
+	}
+	fmt.Println()
+}
+
+func tableIII() {
+	fmt.Println("Table III: top 10 ranking of sensitivity to model parameters")
+	type column struct {
+		name string
+		rows []string
+	}
+	var cols []column
+	for _, nm := range paperNodes {
+		n, err := scaling.NodeFor(nm)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sensitivity.Sweep(n.Description())
+		if err != nil {
+			fatal(err)
+		}
+		c := column{name: n.Name()}
+		for _, r := range sensitivity.Top(res, 10) {
+			c.rows = append(c.rows, r.Name)
+		}
+		cols = append(cols, c)
+	}
+	fmt.Printf("%4s", "")
+	for _, c := range cols {
+		fmt.Printf(" | %-38s", c.name)
+	}
+	fmt.Println()
+	for i := 0; i < 10; i++ {
+		fmt.Printf("%4d", i+1)
+		for _, c := range cols {
+			row := ""
+			if i < len(c.rows) {
+				row = c.rows[i]
+			}
+			fmt.Printf(" | %-38s", row)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramsweep:", err)
+	os.Exit(1)
+}

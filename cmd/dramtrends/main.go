@@ -1,0 +1,152 @@
+// Command dramtrends regenerates the technology-scaling figures of the
+// paper: the parameter shrink curves of Figures 5–7, the disruptive
+// changes of Table II, the voltage trends of Figure 11, the data-rate and
+// row-timing trends of Figure 12 and the energy-per-bit / die-area trends
+// of Figure 13 (including the headline 1.5x-per-generation historic and
+// 1.2x-per-generation forecast energy reduction).
+//
+// Usage:
+//
+//	dramtrends              # everything
+//	dramtrends -fig13       # a single artifact (fig5..fig13, tableII)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"drampower/internal/core"
+	"drampower/internal/scaling"
+)
+
+func main() {
+	fig5 := flag.Bool("fig5", false, "Figure 5: technology parameter scaling")
+	fig6 := flag.Bool("fig6", false, "Figure 6: capacitance / stripe scaling")
+	fig7 := flag.Bool("fig7", false, "Figure 7: core device scaling")
+	fig11 := flag.Bool("fig11", false, "Figure 11: voltage trends")
+	fig12 := flag.Bool("fig12", false, "Figure 12: data rate and row timing trends")
+	fig13 := flag.Bool("fig13", false, "Figure 13: energy per bit and die area trends")
+	tab2 := flag.Bool("tableII", false, "Table II: disruptive technology changes")
+	flag.Parse()
+
+	all := !(*fig5 || *fig6 || *fig7 || *fig11 || *fig12 || *fig13 || *tab2)
+	if *tab2 || all {
+		tableII()
+	}
+	if *fig5 || all {
+		shrinkFigure("Figure 5: scaling of technology related parameters", scaling.Figure5Families())
+	}
+	if *fig6 || all {
+		shrinkFigure("Figure 6: scaling of miscellaneous technology parameters", scaling.Figure6Families())
+	}
+	if *fig7 || all {
+		shrinkFigure("Figure 7: scaling of core device width and length parameters", scaling.Figure7Families())
+	}
+	if *fig11 || all {
+		voltageTrends()
+	}
+	if *fig12 || all {
+		timingTrends()
+	}
+	if *fig13 || all {
+		energyTrends()
+	}
+}
+
+func tableII() {
+	fmt.Println("Table II: disruptive DRAM technology changes")
+	for _, d := range scaling.DisruptiveChanges() {
+		fmt.Printf("  %-16s %-55s %s\n", d.Transition, d.Change, d.Background)
+	}
+	fmt.Println()
+}
+
+func shrinkFigure(title string, families []string) {
+	nodes, rows := scaling.ShrinkTable(families)
+	fmt.Println(title)
+	fmt.Printf("  %-20s", "node [nm]")
+	for _, n := range nodes {
+		fmt.Printf(" %6.0f", n.FeatureNm)
+	}
+	fmt.Println()
+	fmt.Printf("  %-20s", "f-shrink")
+	for _, v := range scaling.FShrinkSeries() {
+		fmt.Printf(" %6.2f", v)
+	}
+	fmt.Println()
+	for _, fam := range sortedKeys(rows) {
+		fmt.Printf("  %-20s", fam)
+		for _, v := range rows[fam] {
+			fmt.Printf(" %6.2f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func voltageTrends() {
+	fmt.Println("Figure 11: voltage trends")
+	fmt.Printf("  %-6s %-10s %6s %6s %6s %6s\n", "node", "interface", "Vdd", "Vint", "Vbl", "Vpp")
+	for _, n := range scaling.Roadmap() {
+		fmt.Printf("  %-6.0f %-10s %6.2f %6.2f %6.2f %6.2f\n",
+			n.FeatureNm, n.Interface, float64(n.Vdd), float64(n.Vint),
+			float64(n.Vbl), float64(n.Vpp))
+	}
+	fmt.Println()
+}
+
+func timingTrends() {
+	fmt.Println("Figure 12: data rate and row timing trends")
+	fmt.Printf("  %-6s %-10s %10s %9s %8s %8s\n",
+		"node", "interface", "rate/pin", "prefetch", "tRC", "tRCD")
+	for _, n := range scaling.Roadmap() {
+		fmt.Printf("  %-6.0f %-10s %7.0f Mbps %6d %7.1fns %7.1fns\n",
+			n.FeatureNm, n.Interface, float64(n.DataRate)/1e6,
+			n.Interface.Prefetch(), n.TRC.Nanoseconds(), n.TRCD.Nanoseconds())
+	}
+	fmt.Println()
+}
+
+func energyTrends() {
+	fmt.Println("Figure 13: energy consumption and die area trends")
+	fmt.Printf("  %-18s %6s %10s %12s %10s\n",
+		"device", "year", "die [mm²]", "e/bit [pJ]", "gen ratio")
+	energies := map[float64]float64{}
+	prev := 0.0
+	for _, n := range scaling.Roadmap() {
+		m, err := core.Build(n.Description())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dramtrends:", err)
+			os.Exit(1)
+		}
+		e := m.EnergyPerBitIDD7().Picojoules()
+		energies[n.FeatureNm] = e
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("x%.2f", prev/e)
+		}
+		fmt.Printf("  %-18s %6.1f %10.1f %12.1f %10s\n",
+			n.Name(), n.Year, float64(m.DieArea())/1e-6, e, ratio)
+		prev = e
+	}
+	hist := math.Pow(energies[170]/energies[44], 1.0/7)
+	fore := math.Pow(energies[44]/energies[16], 1.0/6)
+	fmt.Printf("  -> historic reduction (170nm..44nm, 2000-2010): x%.2f per generation (paper: ~1.5)\n", hist)
+	fmt.Printf("  -> forecast reduction (44nm..16nm, 2010-2018):  x%.2f per generation (paper: ~1.2)\n", fore)
+	fmt.Println()
+}

@@ -1,0 +1,95 @@
+// Command dramverify regenerates the datasheet verification of
+// Section IV.A of the paper: Figure 8 (1 Gb DDR2) and Figure 9 (1 Gb
+// DDR3). For every comparison point it prints the five-vendor datasheet
+// values, their spread and the model's prediction on the two technology
+// nodes typical for the part's market window.
+//
+// Usage:
+//
+//	dramverify            # both figures
+//	dramverify -ddr2      # Figure 8 only
+//	dramverify -ddr3      # Figure 9 only
+//	dramverify -vendors   # include the per-vendor columns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"drampower/internal/datasheet"
+)
+
+func main() {
+	ddr2 := flag.Bool("ddr2", false, "show only the DDR2 comparison (Figure 8)")
+	ddr3 := flag.Bool("ddr3", false, "show only the DDR3 comparison (Figure 9)")
+	vendors := flag.Bool("vendors", false, "print per-vendor datasheet columns")
+	flag.Parse()
+
+	both := !*ddr2 && !*ddr3
+	if *ddr2 || both {
+		run(datasheet.DDR2, "Figure 8: model vs datasheet, 1Gb DDR2 (model at 75nm and 65nm)", *vendors)
+	}
+	if *ddr3 || both {
+		run(datasheet.DDR3, "Figure 9: model vs datasheet, 1Gb DDR3 (model at 65nm and 55nm)", *vendors)
+	}
+}
+
+func run(std datasheet.Standard, title string, vendors bool) {
+	rows, err := datasheet.Compare(std)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramverify:", err)
+		os.Exit(1)
+	}
+	fmt.Println(title)
+	if vendors {
+		fmt.Printf("  %-16s", "point")
+		for _, v := range datasheet.Vendors {
+			fmt.Printf(" %9s", v)
+		}
+		fmt.Printf(" | %17s | %s\n", "model [mA]", "verdict")
+	} else {
+		fmt.Printf("  %-16s %9s %9s %9s | %17s | %s\n",
+			"point", "sheet min", "mean", "max", "model [mA]", "verdict")
+	}
+	within := 0
+	for _, c := range rows {
+		p := c.Point
+		if vendors {
+			fmt.Printf("  %-16s", p.Label())
+			for _, v := range datasheet.Vendors {
+				fmt.Printf(" %9.0f", p.VendorMA[v])
+			}
+		} else {
+			fmt.Printf("  %-16s %9.0f %9.0f %9.0f", p.Label(), p.Min(), p.Mean(), p.Max())
+		}
+		var nodes []string
+		for n := range c.ModelMA {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		fmt.Print(" |")
+		for _, n := range nodes {
+			fmt.Printf(" %s:%6.1f", n, c.ModelMA[n])
+		}
+		verdict := "within spread"
+		if c.WithinSpread(0.25) {
+			within++
+		} else {
+			verdict = "OUTSIDE spread"
+		}
+		fmt.Printf(" | %s\n", verdict)
+	}
+	spread := datasheet.SpreadStats(rowsPoints(rows))
+	fmt.Printf("  -> %d/%d points within the vendor spread (mean max/min ratio %.2f)\n\n",
+		within, len(rows), spread)
+}
+
+func rowsPoints(rows []datasheet.Comparison) []datasheet.Point {
+	pts := make([]datasheet.Point, len(rows))
+	for i, r := range rows {
+		pts[i] = r.Point
+	}
+	return pts
+}

@@ -1,0 +1,204 @@
+// Package drampower is a Go implementation of the flexible DRAM power
+// model of Thomas Vogelsang, "Understanding the Energy Consumption of
+// Dynamic Random Access Memories", MICRO-43 (2010).
+//
+// The model computes DRAM power from first principles: a description of
+// the device's physical floorplan, signaling floorplan, technology,
+// interface specification and operating pattern is resolved into a large
+// number of charge/discharge events (P = Σ ½·C·V²·f, Eq. 2 of the paper),
+// organized in four voltage domains (Vpp, Vbl, Vint, Vdd) and rolled up
+// into per-operation energies, datasheet-style IDD currents and pattern
+// power.
+//
+// # Quick start
+//
+//	d := drampower.Sample1GbDDR3()          // a calibrated 1 Gb DDR3-1600 x16
+//	m, err := drampower.Build(d)            // resolve geometry + capacitances
+//	if err != nil { ... }
+//	idd := m.IDD()                          // IDD0, IDD2N, IDD4R/W, IDD5, IDD7
+//	res := m.Evaluate()                     // power of the description's pattern
+//	fmt.Println(idd.IDD0, res.Power, res.EnergyPerBit)
+//
+// Descriptions can also be read from files in the paper's input language
+// (ParseFile / ParseString), generated for any technology node of the
+// 170 nm → 16 nm roadmap (Roadmap, NodeFor), swept for parameter
+// sensitivity (Sweep), compared against the embedded DDR2/DDR3 datasheet
+// values (CompareDatasheet), transformed by the Section V power-reduction
+// schemes (EvaluateSchemes) and exercised with timing-validated command
+// traces (NewSimulator and the workload generators).
+package drampower
+
+import (
+	"io"
+
+	"drampower/internal/core"
+	"drampower/internal/datasheet"
+	"drampower/internal/desc"
+	"drampower/internal/scaling"
+	"drampower/internal/schemes"
+	"drampower/internal/sensitivity"
+	"drampower/internal/trace"
+	"drampower/internal/units"
+)
+
+// Re-exported description types: the DRAM description language of
+// Section III.B of the paper (see package internal/desc for details).
+type (
+	// Description is a complete DRAM description (Table I of the paper).
+	Description = desc.Description
+	// Floorplan, Segment, Technology, Specification, Electrical and
+	// LogicBlock are the five parameter groups of Table I.
+	Floorplan     = desc.Floorplan
+	Segment       = desc.Segment
+	Technology    = desc.Technology
+	Specification = desc.Specification
+	Electrical    = desc.Electrical
+	LogicBlock    = desc.LogicBlock
+	// Pattern is the repeating command loop whose power is evaluated.
+	Pattern = desc.Pattern
+	// Op is a basic DRAM operation (act, pre, rd, wrt, nop, ref).
+	Op = desc.Op
+)
+
+// Basic operations.
+const (
+	OpNop       = desc.OpNop
+	OpActivate  = desc.OpActivate
+	OpPrecharge = desc.OpPrecharge
+	OpRead      = desc.OpRead
+	OpWrite     = desc.OpWrite
+	OpRefresh   = desc.OpRefresh
+)
+
+// Re-exported engine types.
+type (
+	// Model is a resolved DRAM ready for power evaluation.
+	Model = core.Model
+	// IDD collects the datasheet-style currents (Section IV.A).
+	IDD = core.IDD
+	// PatternResult is the evaluation of a command pattern.
+	PatternResult = core.PatternResult
+)
+
+// Re-exported physical quantity types (SI base units).
+type (
+	Volts   = units.Voltage
+	Watts   = units.Power
+	Amperes = units.Current
+	Joules  = units.Energy
+)
+
+// Parse reads a DRAM description in the paper's input language.
+func Parse(r io.Reader) (*Description, error) { return desc.Parse(r) }
+
+// ParseFile reads and parses a description file.
+func ParseFile(path string) (*Description, error) { return desc.ParseFile(path) }
+
+// ParseString parses a description from a string.
+func ParseString(src string) (*Description, error) { return desc.ParseString(src) }
+
+// Format renders a description back into the input language.
+func Format(d *Description) string { return desc.Format(d) }
+
+// Sample1GbDDR3 returns the calibrated 1 Gb x16 DDR3-1600 reference device
+// (55 nm technology, Figure 1 floorplan).
+func Sample1GbDDR3() *Description { return desc.Sample1GbDDR3() }
+
+// Build validates a description and resolves it into a model.
+func Build(d *Description) (*Model, error) { return core.Build(d) }
+
+// Re-exported generation roadmap types (Section III.C / IV.C).
+type (
+	// Node is one technology generation (feature size, interface,
+	// voltages, timings).
+	Node = scaling.Node
+	// Device is a buildable DRAM: node technology + interface, density,
+	// width and data rate.
+	Device = scaling.Device
+	// Interface is a DRAM interface generation (SDR … DDR5).
+	Interface = scaling.Interface
+)
+
+// Interface generations.
+const (
+	SDR  = scaling.SDR
+	DDR  = scaling.DDR
+	DDR2 = scaling.DDR2
+	DDR3 = scaling.DDR3
+	DDR4 = scaling.DDR4
+	DDR5 = scaling.DDR5
+)
+
+// Roadmap returns the technology generations from 170 nm (SDR, 2000) to
+// 16 nm (DDR5, forecast 2018).
+func Roadmap() []Node { return scaling.Roadmap() }
+
+// NodeFor returns the roadmap node with the given feature size in
+// nanometers.
+func NodeFor(featureNm float64) (Node, error) { return scaling.NodeFor(featureNm) }
+
+// DeviceFor builds a device with an explicit interface, density, I/O width
+// and per-pin data rate on the technology of the given node.
+func DeviceFor(featureNm float64, iface Interface, densityBits int64, ioWidth int, gbps float64) (Device, error) {
+	return scaling.DeviceFor(featureNm, iface, densityBits, ioWidth, units.Gbps(gbps))
+}
+
+// Re-exported analysis types.
+type (
+	// SensitivityResult is one row of the Figure 10 Pareto.
+	SensitivityResult = sensitivity.Result
+	// SchemeResult is one row of the Section V comparison.
+	SchemeResult = schemes.Result
+	// DatasheetComparison is one row of the Figures 8–9 verification.
+	DatasheetComparison = datasheet.Comparison
+)
+
+// Sweep varies every model parameter by ±20 % on the given description and
+// returns the power responses sorted by impact (Figure 10, Table III).
+func Sweep(d *Description) ([]SensitivityResult, error) { return sensitivity.Sweep(d) }
+
+// EvaluateSchemes runs the Section V power-reduction schemes against the
+// given baseline and reports energy-per-bit and die-area impact.
+func EvaluateSchemes(base *Description) ([]SchemeResult, error) { return schemes.Evaluate(base) }
+
+// CompareDatasheetDDR2 regenerates the Figure 8 verification (1 Gb DDR2
+// model vs. five-vendor datasheet values).
+func CompareDatasheetDDR2() ([]DatasheetComparison, error) {
+	return datasheet.Compare(datasheet.DDR2)
+}
+
+// CompareDatasheetDDR3 regenerates the Figure 9 verification (1 Gb DDR3).
+func CompareDatasheetDDR3() ([]DatasheetComparison, error) {
+	return datasheet.Compare(datasheet.DDR3)
+}
+
+// Re-exported trace types: the timing-validated command-trace simulator.
+type (
+	// Simulator executes command traces with JEDEC timing checks and
+	// integrates energy.
+	Simulator = trace.Simulator
+	// Command is one trace entry.
+	Command = trace.Command
+	// TraceResult summarizes a finished trace.
+	TraceResult = trace.Result
+)
+
+// NewSimulator creates a trace simulator for the model.
+func NewSimulator(m *Model) *Simulator { return trace.New(m) }
+
+// StreamingWorkload generates an open-page streaming trace (IDD4-like).
+func StreamingWorkload(m *Model, bursts int, readShare float64, seed int64) []Command {
+	return trace.Streaming(m, bursts, readShare, seed)
+}
+
+// RandomClosedPageWorkload generates a closed-page random-access trace
+// (IDD7-like).
+func RandomClosedPageWorkload(m *Model, accesses int, readShare float64, seed int64) []Command {
+	return trace.RandomClosedPage(m, accesses, readShare, seed)
+}
+
+// RunTrace executes a trace against the model and reports the energy
+// accounting.
+func RunTrace(m *Model, cmds []Command) (TraceResult, error) {
+	return trace.Evaluate(m, cmds)
+}

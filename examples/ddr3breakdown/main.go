@@ -1,0 +1,59 @@
+// DDR3 power breakdown: where does the energy of each operation go?
+// This example reproduces the paper's central diagnostic ability — the
+// detailed charge-item breakdown that datasheet calculations cannot give
+// ("not detailed enough to understand exactly when and where in a DRAM the
+// power is consumed", Section I) — for a 2 Gb DDR3 device of the 55 nm
+// generation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"drampower"
+)
+
+func main() {
+	node, err := drampower.NodeFor(55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := node.Description()
+	m, err := drampower.Build(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %s\n\n", d.Name)
+
+	// Break one activate down into its charge items.
+	for _, op := range []drampower.Op{drampower.OpActivate, drampower.OpRead} {
+		oc := m.Charges(op)
+		total := float64(oc.EnergyFromVdd(d.Electrical))
+		fmt.Printf("%s: %.2f nJ total\n", op, total/1e-9)
+		type row struct {
+			name string
+			e    float64
+		}
+		var rows []row
+		for _, it := range oc.Items {
+			v, eff := d.Electrical.DomainVoltageAndEff(it.Domain)
+			e := float64(it.Charge(v)) * float64(d.Electrical.Vdd) / eff
+			rows = append(rows, row{fmt.Sprintf("%-32s (%s, %s)", it.Name, it.Group, it.Domain), e})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].e > rows[j].e })
+		for _, r := range rows {
+			fmt.Printf("  %-48s %8.1f pJ  %5.1f%%\n", r.name, r.e/1e-12, 100*r.e/total)
+		}
+		fmt.Println()
+	}
+
+	// The same rollup over the interleaved pattern, by group and domain.
+	res := m.EvaluatePattern(m.PatternIDD7(0.5))
+	fmt.Printf("interleaved pattern: %.1f mW at %.2f pJ/bit\n",
+		res.Power.Milliwatts(), res.EnergyPerBit.Picojoules())
+	for g, p := range res.ByGroup {
+		fmt.Printf("  group %-9s %6.1f mW (%4.1f%%)\n", g, p.Milliwatts(),
+			100*float64(p)/float64(res.Power))
+	}
+}

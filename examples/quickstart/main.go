@@ -1,0 +1,48 @@
+// Quickstart: build the calibrated 1 Gb DDR3-1600 sample device, print its
+// datasheet-style IDD currents and evaluate the paper's example pattern
+// ("act nop wrt nop rd nop pre nop", Section III.B.4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drampower"
+)
+
+func main() {
+	// The description holds everything Table I of the paper lists:
+	// floorplan, signaling, technology, specification, pattern.
+	d := drampower.Sample1GbDDR3()
+
+	// Build resolves the floorplan geometry and all wire/device
+	// capacitances (steps 1-2 of the Figure 4 program flow).
+	m, err := drampower.Build(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("device: %s (%.1f mm²)\n", d.Name, float64(m.DieArea())/1e-6)
+
+	// Datasheet currents (Section IV.A).
+	idd := m.IDD()
+	fmt.Printf("IDD0  = %6.1f mA\n", idd.IDD0.Milliamps())
+	fmt.Printf("IDD2N = %6.1f mA\n", idd.IDD2N.Milliamps())
+	fmt.Printf("IDD4R = %6.1f mA\n", idd.IDD4R.Milliamps())
+	fmt.Printf("IDD4W = %6.1f mA\n", idd.IDD4W.Milliamps())
+	fmt.Printf("IDD7  = %6.1f mA\n", idd.IDD7.Milliamps())
+
+	// Pattern power (steps 3-6 of Figure 4): the description's own loop
+	// spends 12.5% of the slots on each command and 50% on nops.
+	res := m.Evaluate()
+	fmt.Printf("pattern %q:\n", d.Pattern.String())
+	fmt.Printf("  power      = %.1f mW\n", res.Power.Milliwatts())
+	fmt.Printf("  current    = %.1f mA\n", res.Current.Milliamps())
+	fmt.Printf("  energy/bit = %.2f pJ\n", res.EnergyPerBit.Picojoules())
+
+	// Per-operation energies referred to the external supply.
+	for _, op := range []drampower.Op{drampower.OpActivate, drampower.OpRead} {
+		e := m.Charges(op).EnergyFromVdd(d.Electrical)
+		fmt.Printf("  one %-3s costs %.2f nJ\n", op, float64(e)/1e-9)
+	}
+}

@@ -1,0 +1,3 @@
+module drampower
+
+go 1.22

@@ -1,0 +1,120 @@
+package drampower
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration tests: full .dram files through parser, validator, engine.
+
+func parseTestdata(t *testing.T, name string) *Description {
+	t.Helper()
+	d, err := ParseFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTestdataFilesParseAndBuild(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".dram") {
+			continue
+		}
+		n++
+		t.Run(e.Name(), func(t *testing.T) {
+			d := parseTestdata(t, e.Name())
+			if err := d.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			m, err := Build(d)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			idd := m.IDD()
+			if idd.IDD0 <= 0 || idd.IDD0 > 0.5 {
+				t.Errorf("IDD0 = %v implausible", idd.IDD0)
+			}
+			res := m.Evaluate()
+			if res.Power <= 0 || res.Power > 3 {
+				t.Errorf("pattern power %v implausible", res.Power)
+			}
+		})
+	}
+	if n < 4 {
+		t.Errorf("expected at least 4 testdata descriptions, found %d", n)
+	}
+}
+
+func TestFileRoundTripsThroughEngine(t *testing.T) {
+	// The DDR3 testdata file is the serialized sample device: both paths
+	// must produce identical power results.
+	fromFile, err := Build(parseTestdata(t, "ddr3_1gb_x16_55nm.dram"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCode, err := Build(Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fIDD, cIDD := fromFile.IDD(), fromCode.IDD()
+	if d := relDiff(float64(fIDD.IDD0), float64(cIDD.IDD0)); d > 1e-9 {
+		t.Errorf("IDD0 differs between file and code: %v vs %v", fIDD.IDD0, cIDD.IDD0)
+	}
+	if d := relDiff(float64(fromFile.Evaluate().Power), float64(fromCode.Evaluate().Power)); d > 1e-9 {
+		t.Error("pattern power differs between file and code path")
+	}
+}
+
+func TestGenerationFilesMatchRoadmap(t *testing.T) {
+	// The SDR / DDR2 / DDR5 testdata files are frozen snapshots of the
+	// generation builder; they must still agree with the live builder.
+	cases := map[string]float64{
+		"sdr_128mb_x16_170nm.dram": 170,
+		"ddr2_1gb_x16_75nm.dram":   75,
+		"ddr5_16gb_x16_18nm.dram":  18,
+	}
+	for name, nm := range cases {
+		t.Run(name, func(t *testing.T) {
+			fileModel, err := Build(parseTestdata(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := NodeFor(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveModel, err := Build(n.Description())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := float64(fileModel.Evaluate().Power)
+			l := float64(liveModel.Evaluate().Power)
+			if relDiff(f, l) > 0.02 {
+				t.Errorf("pattern power drifted: file %g W vs builder %g W "+
+					"(regenerate testdata after builder changes)", f, l)
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,209 @@
+// Package core implements the DRAM power engine of Section III of the
+// paper. It follows the program flow of Figure 4:
+//
+//  1. the description is parsed and syntax-checked (package desc),
+//  2. wire and device capacitances are calculated (packages geom, tech,
+//     circuits and the signaling resolution here),
+//  3. the charge associated with activate, precharge, read and write is
+//     determined,
+//  4. the currents of each operation follow from charge × frequency,
+//  5. the power of each operation is the current referred to the external
+//     supply through the generator/pump efficiencies,
+//  6. the power of the specified pattern combines the operations'
+//     contributions with the pattern mix.
+//
+// The central quantity is the ChargeItem (package circuits): a named
+// capacitance switched a number of times per operation in one of the four
+// voltage domains. Everything the model reports — operation energies, IDD
+// currents, pattern power, component Paretos — is an aggregation of charge
+// items.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"drampower/internal/desc"
+	"drampower/internal/geom"
+	"drampower/internal/tech"
+	"drampower/internal/units"
+)
+
+// Model is a fully resolved DRAM: description plus derived geometry and
+// capacitances, ready for power evaluation.
+type Model struct {
+	D     *desc.Description
+	Grid  *geom.Grid
+	Array *geom.ArrayLayout
+	P     tech.Params
+
+	// Segments are the resolved signaling floorplan wires.
+	Segments []ResolvedSegment
+}
+
+// ResolvedSegment is a signaling floorplan segment with its routed length,
+// per-wire capacitance and derived wire count.
+type ResolvedSegment struct {
+	Seg    desc.Segment
+	Length units.Length
+	// WireCap is the wire capacitance of one wire of the segment.
+	WireCap units.Capacitance
+	// BufCap is the device load of the segment's head buffer (per wire).
+	BufCap units.Capacitance
+	// Wires is the resolved wire count.
+	Wires int
+	// Toggle is the resolved charging-event rate.
+	Toggle float64
+}
+
+// TotalCapPerWire returns wire plus buffer capacitance of one wire.
+func (r ResolvedSegment) TotalCapPerWire() units.Capacitance {
+	return r.WireCap + r.BufCap
+}
+
+// Build resolves a description into a model. The description is validated
+// first; Build fails on any validation problem.
+func Build(d *desc.Description) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := geom.NewGrid(&d.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	w, h, err := geom.ArrayBlockExtents(g)
+	if err != nil {
+		return nil, err
+	}
+	a, err := geom.ResolveArray(&d.Floorplan, w, h)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{D: d, Grid: g, Array: a, P: tech.Params{T: &d.Technology}}
+	if err := m.resolveSegments(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// resolveSegments computes lengths, capacitances, wire counts and toggle
+// rates for every signaling segment. Data buses widen by the accumulated
+// mux (deserialization) ratio of upstream segments of the same bus.
+func (m *Model) resolveSegments() error {
+	d := m.D
+	serial := map[string]int{} // bus prefix -> accumulated widening
+	m.Segments = make([]ResolvedSegment, 0, len(d.Signals))
+	for _, s := range d.Signals {
+		l, err := m.Grid.SegmentLength(&s)
+		if err != nil {
+			return err
+		}
+		frac := s.EffectiveActiveFrac()
+		rs := ResolvedSegment{
+			Seg:     s,
+			Length:  l,
+			WireCap: tech.WireCap(l, d.Technology.WireCapSignal).Times(frac),
+			Toggle:  s.Toggle,
+		}
+		if rs.Toggle < 0 {
+			rs.Toggle = desc.DefaultToggle(s.Kind)
+		}
+		if s.BufNWidth > 0 || s.BufPWidth > 0 {
+			// Cut-off segmentation (activefrac < 1) idles the buffers
+			// beyond the cut as well.
+			rs.BufCap = m.P.BufferLoad(s.BufNWidth, s.BufPWidth).Times(frac)
+		}
+		rs.Wires = m.segmentWires(&s, serial)
+		if s.MuxRatio > 1 && isDataKind(s.Kind) {
+			serial[busPrefix(s.Kind)] *= s.MuxRatio
+		}
+		m.Segments = append(m.Segments, rs)
+	}
+	return nil
+}
+
+func isDataKind(k desc.SignalKind) bool {
+	return k == desc.SigDataRead || k == desc.SigDataWrite || k == desc.SigDataShared
+}
+
+func busPrefix(k desc.SignalKind) string { return k.String() }
+
+// segmentWires derives the wire count of a segment from the specification
+// unless overridden.
+func (m *Model) segmentWires(s *desc.Segment, serial map[string]int) int {
+	if s.Wires > 0 {
+		return s.Wires
+	}
+	spec := m.D.Spec
+	switch s.Kind {
+	case desc.SigClock:
+		if spec.ClockWires > 0 {
+			return spec.ClockWires
+		}
+		return 1
+	case desc.SigControl:
+		if spec.MiscCtrlSignals > 0 {
+			return spec.MiscCtrlSignals
+		}
+		return 4
+	case desc.SigAddrRow:
+		return spec.RowAddrBits
+	case desc.SigAddrCol:
+		return spec.ColAddrBits
+	case desc.SigAddrBank:
+		return spec.BankAddrBits
+	default: // data
+		p := busPrefix(s.Kind)
+		if serial[p] == 0 {
+			serial[p] = 1
+		}
+		return spec.IOWidth * serial[p]
+	}
+}
+
+// BitsPerBurst returns the bits moved by one column command: IO width ×
+// burst length (burst length defaults to the prefetch when unset).
+func (m *Model) BitsPerBurst() int {
+	bl := m.D.Spec.BurstLength
+	if bl <= 0 {
+		bl = m.D.Spec.Prefetch()
+	}
+	return m.D.Spec.IOWidth * bl
+}
+
+// BurstSlots returns the number of control-clock slots one burst occupies
+// on the data bus: burst length / data bits per control cycle per pin.
+// For a DDR interface clocked at the control clock this is burstLength/2;
+// the result is at least 1.
+func (m *Model) BurstSlots() int {
+	spec := m.D.Spec
+	if spec.ControlClock <= 0 || spec.DataRate <= 0 {
+		return 1
+	}
+	bitsPerSlotPerPin := float64(spec.DataRate) / float64(spec.ControlClock)
+	bl := spec.BurstLength
+	if bl <= 0 {
+		bl = spec.Prefetch()
+	}
+	slots := int(math.Ceil(float64(bl) / bitsPerSlotPerPin))
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// DieArea returns the die area of the floorplan.
+func (m *Model) DieArea() units.Area { return m.Grid.DieArea() }
+
+// Density returns the device density in bits implied by the addressing:
+// banks × rows × page bits.
+func (m *Model) Density() int64 {
+	s := m.D.Spec
+	return int64(s.Banks()) * (1 << uint(s.RowAddrBits)) * int64(s.PageBits())
+}
+
+// String identifies the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("Model(%s, %d banks, %.1f mm²)",
+		m.D.Name, m.D.Spec.Banks(), float64(m.DieArea())/1e-6)
+}

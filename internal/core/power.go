@@ -1,0 +1,356 @@
+package core
+
+import (
+	"drampower/internal/circuits"
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+// OpCharges collects the charge items of one operation (one command).
+type OpCharges struct {
+	Op    desc.Op
+	Items []circuits.ChargeItem
+}
+
+// EnergyFromVdd returns the energy one occurrence of the operation draws
+// from the external supply. The accounting is charge-referred, following
+// Section III.B.6 ("multiplying the current with the external supply
+// voltage and in case of derived voltages the generator or pump efficiency
+// factor"): a regulator passes the domain charge through at the external
+// voltage (Q_in = Q_out / η with η ≈ 1), a charge pump multiplies it
+// (η ≈ 0.5 for a doubler). Hence E = Q_domain · Vdd / η — linear in every
+// individual voltage, quadratic only when all voltages scale together,
+// which is why a ±20 % Vdd sweep moves power by exactly 40 % (Section
+// IV.B).
+func (oc *OpCharges) EnergyFromVdd(el desc.Electrical) units.Energy {
+	var e float64
+	for _, it := range oc.Items {
+		v, eff := el.DomainVoltageAndEff(it.Domain)
+		if eff <= 0 {
+			eff = 1
+		}
+		e += float64(it.Charge(v)) * float64(el.Vdd) / eff
+	}
+	return units.Energy(e)
+}
+
+// ChargeFromVdd returns the equivalent charge drawn from the external
+// supply per occurrence: E / Vdd.
+func (oc *OpCharges) ChargeFromVdd(el desc.Electrical) units.Charge {
+	if el.Vdd <= 0 {
+		return 0
+	}
+	return units.Charge(float64(oc.EnergyFromVdd(el)) / float64(el.Vdd))
+}
+
+// EnergyByGroup splits the Vdd-referred energy per occurrence by reporting
+// group.
+func (oc *OpCharges) EnergyByGroup(el desc.Electrical) map[circuits.Group]units.Energy {
+	out := map[circuits.Group]units.Energy{}
+	for _, it := range oc.Items {
+		v, eff := el.DomainVoltageAndEff(it.Domain)
+		if eff <= 0 {
+			eff = 1
+		}
+		out[it.Group] += units.Energy(float64(it.Charge(v)) * float64(el.Vdd) / eff)
+	}
+	return out
+}
+
+// EnergyByDomain splits the Vdd-referred energy per occurrence by voltage
+// domain.
+func (oc *OpCharges) EnergyByDomain(el desc.Electrical) map[desc.Domain]units.Energy {
+	out := map[desc.Domain]units.Energy{}
+	for _, it := range oc.Items {
+		v, eff := el.DomainVoltageAndEff(it.Domain)
+		if eff <= 0 {
+			eff = 1
+		}
+		out[it.Domain] += units.Energy(float64(it.Charge(v)) * float64(el.Vdd) / eff)
+	}
+	return out
+}
+
+// Charges computes the charge items of one occurrence of op. The items
+// cover the array and row/column circuitry (package circuits), the
+// signaling floorplan segments that fire for the operation, and the
+// miscellaneous logic blocks active during it. Background contributions
+// (clock, control bus, always-on logic, constant current) are *not*
+// included — see Background.
+func (m *Model) Charges(op desc.Op) *OpCharges {
+	oc := &OpCharges{Op: op}
+	d := m.D
+	bits := m.BitsPerBurst()
+	switch op {
+	case desc.OpActivate:
+		oc.Items = append(oc.Items, circuits.ActivateItems(m.P, d, m.Array)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrRow, 1)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrBank, 1)...)
+	case desc.OpPrecharge:
+		oc.Items = append(oc.Items, circuits.PrechargeItems(m.P, d, m.Array)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrBank, 1)...)
+	case desc.OpRead:
+		oc.Items = append(oc.Items, circuits.ColumnItems(m.P, d, m.Array, bits, false)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrCol, 1)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrBank, 1)...)
+		oc.Items = append(oc.Items, m.dataPathItems(desc.SigDataRead, bits)...)
+	case desc.OpWrite:
+		oc.Items = append(oc.Items, circuits.ColumnItems(m.P, d, m.Array, bits, true)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrCol, 1)...)
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrBank, 1)...)
+		oc.Items = append(oc.Items, m.dataPathItems(desc.SigDataWrite, bits)...)
+	case desc.OpRefresh:
+		// A refresh command activates and precharges one row in every
+		// bank (all-bank auto-refresh).
+		banks := float64(d.Spec.Banks())
+		for _, it := range circuits.ActivateItems(m.P, d, m.Array) {
+			it.Events *= banks
+			oc.Items = append(oc.Items, it)
+		}
+		for _, it := range circuits.PrechargeItems(m.P, d, m.Array) {
+			it.Events *= banks
+			oc.Items = append(oc.Items, it)
+		}
+		oc.Items = append(oc.Items, m.segmentItems(desc.SigAddrRow, banks)...)
+	case desc.OpNop:
+		// Only background power; no command charge.
+	}
+	oc.Items = append(oc.Items, m.logicItems(op)...)
+	return oc
+}
+
+// segmentItems returns charge items for all segments of the given kind:
+// events = toggle × wires × scale (one bus transition per command).
+func (m *Model) segmentItems(kind desc.SignalKind, scale float64) []circuits.ChargeItem {
+	var items []circuits.ChargeItem
+	for _, rs := range m.Segments {
+		if rs.Seg.Kind != kind {
+			continue
+		}
+		items = append(items, circuits.ChargeItem{
+			Name:   "wire " + rs.Seg.Name,
+			Group:  circuits.GroupDataPath,
+			Domain: desc.DomainVint,
+			Cap:    rs.TotalCapPerWire(),
+			Events: rs.Toggle * float64(rs.Wires) * scale,
+		})
+	}
+	return items
+}
+
+// dataPathItems returns charge items for a data transfer of the given
+// direction: each segment of the matching bus (including shared-data
+// segments) sees every transferred bit once, charging toggle × bits events
+// regardless of the bus width at that point.
+func (m *Model) dataPathItems(kind desc.SignalKind, bits int) []circuits.ChargeItem {
+	var items []circuits.ChargeItem
+	for _, rs := range m.Segments {
+		k := rs.Seg.Kind
+		if k != kind && k != desc.SigDataShared {
+			continue
+		}
+		items = append(items, circuits.ChargeItem{
+			Name:   "wire " + rs.Seg.Name,
+			Group:  circuits.GroupDataPath,
+			Domain: desc.DomainVint,
+			Cap:    rs.TotalCapPerWire(),
+			Events: rs.Toggle * float64(bits),
+		})
+	}
+	return items
+}
+
+// logicItems returns the charge of the miscellaneous logic blocks that are
+// active only during specific operations. A block toggles at its rate for
+// every control-clock cycle the operation occupies: column commands keep
+// the column and interface logic busy for the whole burst (BurstSlots
+// cycles — eight internal column cycles on a BL8 SDR, half a data-clock
+// burst on DDR3). Always-on blocks are background (see Background) and
+// excluded here.
+func (m *Model) logicItems(op desc.Op) []circuits.ChargeItem {
+	var items []circuits.ChargeItem
+	slots := 1.0
+	if op == desc.OpRead || op == desc.OpWrite {
+		slots = float64(m.BurstSlots())
+	}
+	for i := range m.D.LogicBlocks {
+		b := &m.D.LogicBlocks[i]
+		if len(b.ActiveDuring) == 0 || !b.ActiveFor(op) {
+			continue
+		}
+		cap := m.P.LogicGateCap(b, m.D.Technology.WireCapSignal)
+		items = append(items, circuits.ChargeItem{
+			Name:   "logic " + b.Name,
+			Group:  circuits.GroupLogic,
+			Domain: desc.DomainVint,
+			Cap:    cap,
+			Events: b.Toggle * float64(b.Gates) * slots,
+		})
+	}
+	return items
+}
+
+// Background is the continuously dissipated power: clock distribution at
+// the data clock, the control bus at the control clock, always-on logic
+// blocks at the control clock, and the constant current sink. This is the
+// power of the no-operation state ("the clock is running and the control
+// is operating", Section III.B.4).
+type Background struct {
+	Items []BackgroundItem
+	// Power is the total, referred to the external supply.
+	Power units.Power
+}
+
+// BackgroundItem is one continuous contribution with its Vdd-referred
+// power.
+type BackgroundItem struct {
+	Name  string
+	Group circuits.Group
+	Power units.Power
+}
+
+// Background computes the background power of the model.
+func (m *Model) Background() Background {
+	var bg Background
+	el := m.D.Electrical
+	add := func(name string, group circuits.Group, p units.Power) {
+		bg.Items = append(bg.Items, BackgroundItem{Name: name, Group: group, Power: p})
+		bg.Power += p
+	}
+
+	for _, rs := range m.Segments {
+		var f units.Frequency
+		switch rs.Seg.Kind {
+		case desc.SigClock:
+			f = m.D.Spec.DataClock
+		case desc.SigControl:
+			f = m.D.Spec.ControlClock
+		default:
+			continue
+		}
+		v, eff := el.DomainVoltageAndEff(desc.DomainVint)
+		e := float64(rs.TotalCapPerWire()) * float64(v) * float64(el.Vdd) *
+			rs.Toggle * float64(rs.Wires) / eff
+		group := circuits.GroupClock
+		if rs.Seg.Kind == desc.SigControl {
+			group = circuits.GroupDataPath
+		}
+		add("wire "+rs.Seg.Name, group, units.Energy(e).PowerAt(f))
+	}
+
+	for i := range m.D.LogicBlocks {
+		b := &m.D.LogicBlocks[i]
+		if len(b.ActiveDuring) != 0 {
+			continue
+		}
+		cap := m.P.LogicGateCap(b, m.D.Technology.WireCapSignal)
+		v, eff := el.DomainVoltageAndEff(desc.DomainVint)
+		e := float64(cap) * float64(v) * float64(el.Vdd) * b.Toggle * float64(b.Gates) / eff
+		add("logic "+b.Name, circuits.GroupLogic, units.Energy(e).PowerAt(m.D.Spec.ControlClock))
+	}
+
+	if el.ConstantCurrent > 0 {
+		add("constant current", circuits.GroupStatic,
+			units.Power(float64(el.ConstantCurrent)*float64(el.Vdd)))
+	}
+	return bg
+}
+
+// OpPower returns the power one operation contributes when issued every
+// control-clock cycle: E_op × f_ctrl. The pattern evaluation scales this
+// by the operation's slot share, which is exactly the paper's "12.5% of
+// the power associated with each of these commands" accounting.
+func (m *Model) OpPower(op desc.Op) units.Power {
+	e := m.Charges(op).EnergyFromVdd(m.D.Electrical)
+	return e.PowerAt(m.D.Spec.ControlClock)
+}
+
+// PatternResult is the evaluation of a command pattern.
+type PatternResult struct {
+	Pattern desc.Pattern
+	// Background is the continuous power.
+	Background units.Power
+	// Command is the pattern-weighted command power.
+	Command units.Power
+	// Power is the total average power.
+	Power units.Power
+	// Current is Power / Vdd.
+	Current units.Current
+	// BitsPerLoop counts data bits moved per loop traversal.
+	BitsPerLoop int
+	// EnergyPerBit is the average energy per transferred bit; 0 when the
+	// pattern moves no data.
+	EnergyPerBit units.Energy
+	// ByOp is each operation's average power contribution (share × OpPower).
+	ByOp map[desc.Op]units.Power
+	// ByGroup splits the total average power by reporting group.
+	ByGroup map[circuits.Group]units.Power
+	// ByDomain splits the total average power by voltage domain. Constant
+	// current and background wires/logic are attributed to their domains
+	// (Vdd for the constant sink, Vint for wires and logic).
+	ByDomain map[desc.Domain]units.Power
+}
+
+// EvaluatePattern computes the average power of the given pattern, one
+// control-clock slot per loop entry.
+func (m *Model) EvaluatePattern(p desc.Pattern) *PatternResult {
+	el := m.D.Electrical
+	fctl := m.D.Spec.ControlClock
+	res := &PatternResult{
+		Pattern:  p,
+		ByOp:     map[desc.Op]units.Power{},
+		ByGroup:  map[circuits.Group]units.Power{},
+		ByDomain: map[desc.Domain]units.Power{},
+	}
+
+	bg := m.Background()
+	res.Background = bg.Power
+	for _, it := range bg.Items {
+		res.ByGroup[it.Group] += it.Power
+		if it.Group == circuits.GroupStatic {
+			res.ByDomain[desc.DomainVdd] += it.Power
+		} else {
+			res.ByDomain[desc.DomainVint] += it.Power
+		}
+	}
+
+	mix := p.Mix()
+	for op, share := range mix {
+		if op == desc.OpNop || share == 0 {
+			continue
+		}
+		oc := m.Charges(op)
+		opPower := units.Power(share) * units.Power(float64(oc.EnergyFromVdd(el))*float64(fctl))
+		res.ByOp[op] += opPower
+		res.Command += opPower
+		for g, e := range oc.EnergyByGroup(el) {
+			res.ByGroup[g] += units.Power(share * float64(e) * float64(fctl))
+		}
+		for dom, e := range oc.EnergyByDomain(el) {
+			res.ByDomain[dom] += units.Power(share * float64(e) * float64(fctl))
+		}
+	}
+	res.Power = res.Background + res.Command
+	if el.Vdd > 0 {
+		res.Current = units.Current(float64(res.Power) / float64(el.Vdd))
+	}
+
+	bits := 0
+	perBurst := m.BitsPerBurst()
+	for _, op := range p.Loop {
+		if op == desc.OpRead || op == desc.OpWrite {
+			bits += perBurst
+		}
+	}
+	res.BitsPerLoop = bits
+	if bits > 0 && fctl > 0 {
+		loopTime := float64(len(p.Loop)) / float64(fctl)
+		res.EnergyPerBit = units.Energy(float64(res.Power) * loopTime / float64(bits))
+	}
+	return res
+}
+
+// Evaluate evaluates the description's own pattern.
+func (m *Model) Evaluate() *PatternResult {
+	return m.EvaluatePattern(m.D.Pattern)
+}

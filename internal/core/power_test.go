@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drampower/internal/circuits"
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+func hasItem(items []circuits.ChargeItem, name string) bool {
+	for _, it := range items {
+		if it.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChargesActivate(t *testing.T) {
+	m := build(t)
+	oc := m.Charges(desc.OpActivate)
+	for _, want := range []string{"bitline sensing", "master wordline",
+		"local wordlines", "wire AddrRow0", "wire AddrBank0", "logic rowlogic"} {
+		if !hasItem(oc.Items, want) {
+			t.Errorf("activate charges missing %q", want)
+		}
+	}
+	if hasItem(oc.Items, "wire DataW1") {
+		t.Error("activate charges should not include data wires")
+	}
+	if hasItem(oc.Items, "logic interface") {
+		t.Error("activate charges should not include read/write logic")
+	}
+	if e := oc.EnergyFromVdd(m.D.Electrical); e <= 0 {
+		t.Errorf("activate energy: got %v", e)
+	}
+}
+
+func TestChargesRead(t *testing.T) {
+	m := build(t)
+	oc := m.Charges(desc.OpRead)
+	for _, want := range []string{"column select lines", "local data lines",
+		"wire AddrCol0", "wire DataR0", "wire DataR3", "logic columnlogic",
+		"logic interface"} {
+		if !hasItem(oc.Items, want) {
+			t.Errorf("read charges missing %q", want)
+		}
+	}
+	if hasItem(oc.Items, "wire DataW0") {
+		t.Error("read charges should not include write-path wires")
+	}
+	if hasItem(oc.Items, "written bitlines") {
+		t.Error("read charges should not flip bitlines")
+	}
+}
+
+func TestChargesWrite(t *testing.T) {
+	m := build(t)
+	oc := m.Charges(desc.OpWrite)
+	for _, want := range []string{"written bitlines", "written cells",
+		"wire DataW0", "wire DataW3"} {
+		if !hasItem(oc.Items, want) {
+			t.Errorf("write charges missing %q", want)
+		}
+	}
+	if hasItem(oc.Items, "wire DataR1") {
+		t.Error("write charges should not include read-path wires")
+	}
+}
+
+func TestChargesNop(t *testing.T) {
+	m := build(t)
+	oc := m.Charges(desc.OpNop)
+	if len(oc.Items) != 0 {
+		t.Errorf("nop should carry no command charge, got %d items", len(oc.Items))
+	}
+}
+
+func TestChargesRefresh(t *testing.T) {
+	m := build(t)
+	ref := m.Charges(desc.OpRefresh).EnergyFromVdd(m.D.Electrical)
+	act := m.Charges(desc.OpActivate).EnergyFromVdd(m.D.Electrical)
+	pre := m.Charges(desc.OpPrecharge).EnergyFromVdd(m.D.Electrical)
+	// Refresh = banks × (act+pre) array charges; logic charges are not
+	// multiplied, so the total is close to but below banks × (act+pre).
+	banks := float64(m.D.Spec.Banks())
+	if float64(ref) > banks*float64(act+pre) {
+		t.Errorf("refresh energy %v exceeds %g x (act+pre) %v", ref, banks, act+pre)
+	}
+	if float64(ref) < 0.7*banks*float64(act+pre) {
+		t.Errorf("refresh energy %v too far below %g x (act+pre) %v", ref, banks, act+pre)
+	}
+}
+
+func TestEnergyBreakdownsSum(t *testing.T) {
+	m := build(t)
+	el := m.D.Electrical
+	for _, op := range []desc.Op{desc.OpActivate, desc.OpRead, desc.OpWrite} {
+		oc := m.Charges(op)
+		total := float64(oc.EnergyFromVdd(el))
+		var byG, byD float64
+		for _, e := range oc.EnergyByGroup(el) {
+			byG += float64(e)
+		}
+		for _, e := range oc.EnergyByDomain(el) {
+			byD += float64(e)
+		}
+		if math.Abs(byG-total) > 1e-9*total {
+			t.Errorf("%v: group breakdown sums to %g, total %g", op, byG, total)
+		}
+		if math.Abs(byD-total) > 1e-9*total {
+			t.Errorf("%v: domain breakdown sums to %g, total %g", op, byD, total)
+		}
+	}
+}
+
+func TestChargeFromVdd(t *testing.T) {
+	m := build(t)
+	oc := m.Charges(desc.OpActivate)
+	e := oc.EnergyFromVdd(m.D.Electrical)
+	q := oc.ChargeFromVdd(m.D.Electrical)
+	want := float64(e) / float64(m.D.Electrical.Vdd)
+	if math.Abs(float64(q)-want) > 1e-12*want {
+		t.Errorf("charge from Vdd: got %v, want %g", q, want)
+	}
+}
+
+func TestBackground(t *testing.T) {
+	m := build(t)
+	bg := m.Background()
+	if bg.Power <= 0 {
+		t.Fatalf("background power: got %v", bg.Power)
+	}
+	var names []string
+	var sum units.Power
+	for _, it := range bg.Items {
+		names = append(names, it.Name)
+		sum += it.Power
+		if it.Power <= 0 {
+			t.Errorf("background item %s has non-positive power", it.Name)
+		}
+	}
+	if math.Abs(float64(sum-bg.Power)) > 1e-12*float64(bg.Power) {
+		t.Errorf("background items sum %v != total %v", sum, bg.Power)
+	}
+	joined := ""
+	for _, n := range names {
+		joined += n + ";"
+	}
+	for _, want := range []string{"wire Clk0", "wire Ctrl0", "logic clocktree",
+		"logic control", "constant current"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("background missing %q (have %s)", want, joined)
+		}
+	}
+	// Idle current of a DDR3 device: tens of mA.
+	idle := float64(bg.Power) / float64(m.D.Electrical.Vdd)
+	if idle < 0.010 || idle > 0.060 {
+		t.Errorf("idle current out of datasheet ballpark: %g A", idle)
+	}
+}
+
+func TestIDDSanity(t *testing.T) {
+	m := build(t)
+	idd := m.IDD()
+	ma := func(c units.Current) float64 { return c.Milliamps() }
+
+	// Ordering invariants.
+	if !(idd.IDD2N < idd.IDD0) {
+		t.Errorf("IDD2N (%v) should be below IDD0 (%v)", idd.IDD2N, idd.IDD0)
+	}
+	if !(idd.IDD0 < idd.IDD4R) {
+		t.Errorf("IDD0 (%v) should be below IDD4R (%v)", idd.IDD0, idd.IDD4R)
+	}
+	if !(idd.IDD4R < idd.IDD7) {
+		t.Errorf("IDD4R (%v) should be below IDD7 (%v)", idd.IDD4R, idd.IDD7)
+	}
+	if !(idd.IDD4R < idd.IDD4W) {
+		t.Errorf("IDD4R (%v) should be slightly below IDD4W (%v)", idd.IDD4R, idd.IDD4W)
+	}
+	if idd.IDD2N != idd.IDD3N {
+		t.Errorf("model IDD2N (%v) and IDD3N (%v) should coincide", idd.IDD2N, idd.IDD3N)
+	}
+
+	// Datasheet ballpark for a 1 Gb x16 DDR3-1600 (Section IV.A spread).
+	checks := []struct {
+		name    string
+		val, lo float64
+		hi      float64
+	}{
+		{"IDD0", ma(idd.IDD0), 40, 110},
+		{"IDD2N", ma(idd.IDD2N), 15, 50},
+		{"IDD4R", ma(idd.IDD4R), 100, 250},
+		{"IDD4W", ma(idd.IDD4W), 100, 250},
+		{"IDD5", ma(idd.IDD5), 80, 250},
+		// IDD7 here keeps the data bus full (two bursts per activation on
+		// a x16), so it sits above the JEDEC one-burst measurement.
+		{"IDD7", ma(idd.IDD7), 150, 400},
+	}
+	for _, c := range checks {
+		if c.val < c.lo || c.val > c.hi {
+			t.Errorf("%s = %.1f mA outside datasheet ballpark [%g, %g]",
+				c.name, c.val, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPatternIDD0MatchesDirectFormula(t *testing.T) {
+	m := build(t)
+	el := m.D.Electrical
+	res := m.EvaluatePattern(m.PatternIDD0())
+	// Direct: background + (E_act + E_pre) / (slots/fctl).
+	slots := float64(len(m.PatternIDD0().Loop))
+	eAct := float64(m.Charges(desc.OpActivate).EnergyFromVdd(el))
+	ePre := float64(m.Charges(desc.OpPrecharge).EnergyFromVdd(el))
+	direct := float64(m.Background().Power) +
+		(eAct+ePre)*float64(m.D.Spec.ControlClock)/slots
+	if math.Abs(float64(res.Power)-direct) > 1e-9*direct {
+		t.Errorf("pattern IDD0 power %v != direct %g", res.Power, direct)
+	}
+}
+
+func TestPatternNopOnlyIsBackground(t *testing.T) {
+	m := build(t)
+	res := m.EvaluatePattern(desc.Pattern{Loop: []desc.Op{desc.OpNop, desc.OpNop}})
+	if math.Abs(float64(res.Power-res.Background)) > 1e-15 {
+		t.Errorf("nop-only pattern power %v != background %v", res.Power, res.Background)
+	}
+	if res.BitsPerLoop != 0 || res.EnergyPerBit != 0 {
+		t.Errorf("nop-only pattern moved bits: %d, %v", res.BitsPerLoop, res.EnergyPerBit)
+	}
+}
+
+func TestPatternBreakdownsSum(t *testing.T) {
+	m := build(t)
+	res := m.Evaluate()
+	var byG, byD, byOp float64
+	for _, p := range res.ByGroup {
+		byG += float64(p)
+	}
+	for _, p := range res.ByDomain {
+		byD += float64(p)
+	}
+	for _, p := range res.ByOp {
+		byOp += float64(p)
+	}
+	total := float64(res.Power)
+	if math.Abs(byG-total) > 1e-9*total {
+		t.Errorf("group breakdown sums to %g, total %g", byG, total)
+	}
+	if math.Abs(byD-total) > 1e-9*total {
+		t.Errorf("domain breakdown sums to %g, total %g", byD, total)
+	}
+	if math.Abs(byOp-float64(res.Command)) > 1e-9*float64(res.Command) {
+		t.Errorf("op breakdown sums to %g, command power %g", byOp, float64(res.Command))
+	}
+}
+
+func TestPatternEnergyPerBit(t *testing.T) {
+	m := build(t)
+	res := m.Evaluate() // act nop wrt nop rd nop pre nop: 2 bursts per loop
+	if res.BitsPerLoop != 2*m.BitsPerBurst() {
+		t.Errorf("bits per loop: got %d, want %d", res.BitsPerLoop, 2*m.BitsPerBurst())
+	}
+	loopTime := float64(len(m.D.Pattern.Loop)) / float64(m.D.Spec.ControlClock)
+	want := float64(res.Power) * loopTime / float64(res.BitsPerLoop)
+	if math.Abs(float64(res.EnergyPerBit)-want) > 1e-9*want {
+		t.Errorf("energy per bit: got %v, want %g", res.EnergyPerBit, want)
+	}
+	// The paper's Figure 13 scale: tens of pJ/bit for this generation.
+	if pj := res.EnergyPerBit.Picojoules(); pj < 5 || pj > 100 {
+		t.Errorf("energy per bit out of Figure 13 ballpark: %g pJ", pj)
+	}
+}
+
+func TestEnergyPerBitMetrics(t *testing.T) {
+	m := build(t)
+	e4 := m.EnergyPerBitIDD4()
+	e7 := m.EnergyPerBitIDD7()
+	if e4 <= 0 || e7 <= 0 {
+		t.Fatalf("energy metrics: e4=%v e7=%v", e4, e7)
+	}
+	// Random-access traffic costs more per bit than streaming (row
+	// activation amortized over one burst instead of many).
+	if float64(e7) <= float64(e4) {
+		t.Errorf("IDD7 energy/bit (%v) should exceed IDD4 energy/bit (%v)", e7, e4)
+	}
+}
+
+func TestPatternIDD7Structure(t *testing.T) {
+	m := build(t)
+	p := m.PatternIDD7(0.5)
+	counts := map[desc.Op]int{}
+	for _, op := range p.Loop {
+		counts[op]++
+	}
+	banks := m.D.Spec.Banks()
+	if counts[desc.OpActivate] != banks {
+		t.Errorf("IDD7 activates: got %d, want %d", counts[desc.OpActivate], banks)
+	}
+	if counts[desc.OpPrecharge] != banks {
+		t.Errorf("IDD7 precharges: got %d, want %d", counts[desc.OpPrecharge], banks)
+	}
+	wantCols := banks * m.BurstsPerActivation()
+	if counts[desc.OpRead]+counts[desc.OpWrite] != wantCols {
+		t.Errorf("IDD7 column commands: got %d, want %d",
+			counts[desc.OpRead]+counts[desc.OpWrite], wantCols)
+	}
+	// Half reads, half writes.
+	if counts[desc.OpRead] != counts[desc.OpWrite] {
+		t.Errorf("IDD7(0.5) should balance reads (%d) and writes (%d)",
+			counts[desc.OpRead], counts[desc.OpWrite])
+	}
+	// The activate spacing honors tFAW/4 = 10ns = 8 slots at 800 MHz.
+	group := len(p.Loop) / banks
+	if group != 8 {
+		t.Errorf("IDD7 activate spacing: got %d slots, want 8", group)
+	}
+
+	// Pure-read IDD7.
+	p0 := m.PatternIDD7(0)
+	for _, op := range p0.Loop {
+		if op == desc.OpWrite {
+			t.Error("IDD7(0) should contain no writes")
+		}
+	}
+}
+
+func TestOpPowerLinearInEnergy(t *testing.T) {
+	m := build(t)
+	p := m.OpPower(desc.OpActivate)
+	e := m.Charges(desc.OpActivate).EnergyFromVdd(m.D.Electrical)
+	want := float64(e) * float64(m.D.Spec.ControlClock)
+	if math.Abs(float64(p)-want) > 1e-9*want {
+		t.Errorf("OpPower: got %v, want %g", p, want)
+	}
+}
+
+// Property: total power scales with the square of all voltages (at fixed
+// efficiencies), the fundamental CV² behaviour of Eq. 1.
+func TestPropPowerQuadraticInVoltage(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := 1 + float64(kRaw%100)/100 // scale factor in [1,2)
+		d1 := desc.Sample1GbDDR3()
+		d1.Electrical.ConstantCurrent = 0 // constant sink is linear, not quadratic
+		d2 := d1.Clone()
+		d2.Electrical.Vdd *= units.Voltage(k)
+		d2.Electrical.Vint *= units.Voltage(k)
+		d2.Electrical.Vbl *= units.Voltage(k)
+		d2.Electrical.Vpp *= units.Voltage(k)
+		m1, err1 := Build(d1)
+		m2, err2 := Build(d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		p1 := float64(m1.Evaluate().Power)
+		p2 := float64(m2.Evaluate().Power)
+		return math.Abs(p2-k*k*p1) < 1e-6*p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: command power is linear in the control clock frequency for a
+// fixed pattern (charges fixed, frequency scales).
+func TestPropCommandPowerLinearInClock(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := 1 + float64(kRaw%4) // 1..4
+		d1 := desc.Sample1GbDDR3()
+		d2 := d1.Clone()
+		d2.Spec.ControlClock = units.Frequency(float64(d2.Spec.ControlClock) * k)
+		d2.Spec.DataRate = units.DataRate(float64(d2.Spec.DataRate) * k)
+		m1, err1 := Build(d1)
+		m2, err2 := Build(d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		p1 := float64(m1.Evaluate().Command)
+		p2 := float64(m2.Evaluate().Command)
+		return math.Abs(p2-k*p1) < 1e-6*p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubling every wire's specific capacitance increases power.
+func TestPropPowerMonotonicInWireCap(t *testing.T) {
+	d1 := desc.Sample1GbDDR3()
+	d2 := d1.Clone()
+	d2.Technology.WireCapSignal *= 2
+	d2.Technology.WireCapMWL *= 2
+	d2.Technology.WireCapLWL *= 2
+	m1, err := Build(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m2.Evaluate().Power > m1.Evaluate().Power) {
+		t.Error("power should increase with wire capacitance")
+	}
+}
+
+// Property: pattern power is invariant under rotation of the loop.
+func TestPropPatternRotationInvariant(t *testing.T) {
+	m := build(t)
+	f := func(rot uint8) bool {
+		loop := append([]desc.Op(nil), m.D.Pattern.Loop...)
+		r := int(rot) % len(loop)
+		rotated := append(loop[r:], loop[:r]...)
+		p1 := float64(m.EvaluatePattern(desc.Pattern{Loop: loop}).Power)
+		p2 := float64(m.EvaluatePattern(desc.Pattern{Loop: rotated}).Power)
+		return math.Abs(p1-p2) < 1e-9*p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

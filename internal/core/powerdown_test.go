@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+func TestPowerDown(t *testing.T) {
+	m := build(t)
+	pd := m.PowerDownPower()
+	bg := m.Background().Power
+	if pd <= 0 {
+		t.Fatalf("power-down power: %v", pd)
+	}
+	if pd >= bg {
+		t.Errorf("power-down (%v) should be well below standby (%v)", pd, bg)
+	}
+	// Power-down removes most of the standby power — that is the whole
+	// point of the controller-side scheduling schemes (Hur & Lin).
+	if s := m.PowerDownSavings(); s < 0.5 || s > 0.98 {
+		t.Errorf("power-down savings %.2f outside the plausible band", s)
+	}
+	// IDD2P for a DDR3 part: a few mA.
+	idd2p := m.IDD2P().Milliamps()
+	if idd2p < 1 || idd2p > 20 {
+		t.Errorf("IDD2P %.1f mA outside datasheet ballpark", idd2p)
+	}
+	// Consistency: IDD2P < IDD2N.
+	if m.IDD2P() >= m.IDD().IDD2N {
+		t.Error("IDD2P should be below IDD2N")
+	}
+}
+
+func TestPowerDownScalesWithConstantCurrent(t *testing.T) {
+	d1 := desc.Sample1GbDDR3()
+	d2 := d1.Clone()
+	d2.Electrical.ConstantCurrent *= 2
+	m1, err := Build(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m2.PowerDownPower() > m1.PowerDownPower()) {
+		t.Error("power-down power should grow with the constant sink")
+	}
+}
+
+func TestPowerDownZeroVdd(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	m, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate guard on the current conversion.
+	m.D.Electrical.Vdd = 0
+	if got := m.IDD2P(); got != 0 {
+		t.Errorf("IDD2P with zero Vdd: %v", got)
+	}
+	m.D.Electrical.Vdd = 1.5
+	_ = units.Voltage(0)
+}

@@ -1,0 +1,108 @@
+package desc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// line is one logical input line: its 1-based number and its fields.
+type line struct {
+	num    int
+	fields []field
+}
+
+// field is one whitespace-separated token of a line, either a bare word
+// (key == "") or a key=value attribute.
+type field struct {
+	key, value string
+}
+
+// bare reports whether the field is a bare word.
+func (f field) bare() bool { return f.key == "" }
+
+// text returns the raw text of the field for error messages.
+func (f field) text() string {
+	if f.bare() {
+		return f.value
+	}
+	return f.key + "=" + f.value
+}
+
+// lex splits the input into logical lines of fields. Comments start with
+// '#' or '//' and run to end of line; blank lines are dropped. Tokens of
+// the form "a = b", "a= b" and "a =b" are normalized to the attribute a=b,
+// matching the free-form spacing the paper's excerpts use
+// ("Vertical blocks = A1 P1 P2 P1 A1", "Pattern loop= act nop ...").
+func lex(r io.Reader) ([]line, error) {
+	var lines []line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	num := 0
+	for sc.Scan() {
+		num++
+		text := sc.Text()
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = text[:i]
+		}
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		toks := strings.Fields(text)
+		if len(toks) == 0 {
+			continue
+		}
+		toks, err := normalizeEquals(toks)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", num, err)
+		}
+		ln := line{num: num}
+		for _, t := range toks {
+			if k, v, ok := strings.Cut(t, "="); ok {
+				ln.fields = append(ln.fields, field{key: k, value: v})
+			} else {
+				ln.fields = append(ln.fields, field{value: t})
+			}
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("desc: reading input: %v", err)
+	}
+	return lines, nil
+}
+
+// normalizeEquals joins "a = b" and "a=" "b" and "a" "=b" token triples /
+// pairs into single "a=b" tokens. A trailing "key=" with nothing after it
+// on the line is left as-is (empty value).
+func normalizeEquals(toks []string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch {
+		case t == "=":
+			if len(out) == 0 {
+				return nil, fmt.Errorf("dangling '='")
+			}
+			prev := out[len(out)-1]
+			if strings.Contains(prev, "=") {
+				return nil, fmt.Errorf("unexpected '=' after %q", prev)
+			}
+			if i+1 < len(toks) {
+				out[len(out)-1] = prev + "=" + toks[i+1]
+				i++
+			} else {
+				out[len(out)-1] = prev + "="
+			}
+		case strings.HasSuffix(t, "=") && i+1 < len(toks) && !strings.Contains(toks[i+1], "="):
+			out = append(out, t+toks[i+1])
+			i++
+		case strings.HasPrefix(t, "=") && len(out) > 0 && !strings.Contains(out[len(out)-1], "="):
+			out[len(out)-1] += t
+		default:
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,435 @@
+package desc
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"drampower/internal/units"
+)
+
+// The excerpts of Section III.B of the paper, verbatim (spacing included),
+// must parse.
+const paperExcerpt = `
+FloorplanPhysical
+CellArray BL=v BitsPerBL=512 BLtype=open
+CellArray WLpitch=165nm BLpitch=110nm
+Vertical blocks = A1 P1 P2 P1 A1
+SizeVertical A1=3396um P1=200um P2=530um
+Horizontal blocks = A1 R1 A1 C0 A1 R1 A1
+SizeHorizontal A1=1900um R1=150um C0=260um
+
+FloorplanSignaling
+DataW0 inside=0_2 fraction=25% dir=h mux=1:8
+DataW1 start=0_2 end=3_2 PchW=19.2um NchW=9.6um
+
+Specification
+IO width=16 datarate=1.6Gbps
+Clock number=1 frequency=800MHz
+Control frequency=800MHz
+Control bankadd=3 rowadd=14 coladd=10
+
+Pattern loop= act nop wrt nop rd nop pre nop
+`
+
+func TestParsePaperExcerpt(t *testing.T) {
+	d, err := ParseString(paperExcerpt)
+	if err != nil {
+		t.Fatalf("parsing paper excerpt: %v", err)
+	}
+	fp := d.Floorplan
+	if fp.BitlineDir != Vertical {
+		t.Errorf("bitline dir: got %v, want v", fp.BitlineDir)
+	}
+	if fp.BitsPerBitline != 512 {
+		t.Errorf("bits per bitline: got %d, want 512", fp.BitsPerBitline)
+	}
+	if fp.Arch != Open {
+		t.Errorf("arch: got %v, want open", fp.Arch)
+	}
+	if got := fp.WordlinePitch.Nanometers(); math.Abs(got-165) > 1e-9 {
+		t.Errorf("wordline pitch: got %gnm, want 165nm", got)
+	}
+	wantV := []string{"A1", "P1", "P2", "P1", "A1"}
+	if len(fp.VerticalBlocks) != len(wantV) {
+		t.Fatalf("vertical blocks: got %v, want %v", fp.VerticalBlocks, wantV)
+	}
+	for i, n := range wantV {
+		if fp.VerticalBlocks[i] != n {
+			t.Errorf("vertical block %d: got %s, want %s", i, fp.VerticalBlocks[i], n)
+		}
+	}
+	if got := fp.BlockHeight["A1"].Micrometers(); math.Abs(got-3396) > 1e-9 {
+		t.Errorf("A1 height: got %gum, want 3396um", got)
+	}
+
+	if len(d.Signals) != 2 {
+		t.Fatalf("signals: got %d, want 2", len(d.Signals))
+	}
+	s0 := d.Signals[0]
+	if s0.Kind != SigDataWrite {
+		t.Errorf("DataW0 kind: got %v", s0.Kind)
+	}
+	if s0.Inside == nil || s0.Inside.X != 0 || s0.Inside.Y != 2 {
+		t.Errorf("DataW0 inside: got %v", s0.Inside)
+	}
+	if math.Abs(s0.Fraction-0.25) > 1e-12 {
+		t.Errorf("DataW0 fraction: got %g, want 0.25", s0.Fraction)
+	}
+	if s0.MuxRatio != 8 {
+		t.Errorf("DataW0 mux: got %d, want 8", s0.MuxRatio)
+	}
+	s1 := d.Signals[1]
+	if s1.Start == nil || s1.End == nil || s1.End.X != 3 {
+		t.Errorf("DataW1 span: got start=%v end=%v", s1.Start, s1.End)
+	}
+	if got := s1.BufPWidth.Micrometers(); math.Abs(got-19.2) > 1e-9 {
+		t.Errorf("DataW1 PchW: got %gum, want 19.2um", got)
+	}
+
+	if d.Spec.IOWidth != 16 {
+		t.Errorf("IO width: got %d", d.Spec.IOWidth)
+	}
+	if got := d.Spec.DataRate.Gbps(); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("datarate: got %g, want 1.6", got)
+	}
+	if d.Spec.RowAddrBits != 14 || d.Spec.ColAddrBits != 10 || d.Spec.BankAddrBits != 3 {
+		t.Errorf("addressing: got bank=%d row=%d col=%d",
+			d.Spec.BankAddrBits, d.Spec.RowAddrBits, d.Spec.ColAddrBits)
+	}
+
+	want := []Op{OpActivate, OpNop, OpWrite, OpNop, OpRead, OpNop, OpPrecharge, OpNop}
+	if len(d.Pattern.Loop) != len(want) {
+		t.Fatalf("pattern: got %v", d.Pattern.Loop)
+	}
+	for i, op := range want {
+		if d.Pattern.Loop[i] != op {
+			t.Errorf("pattern[%d]: got %v, want %v", i, d.Pattern.Loop[i], op)
+		}
+	}
+}
+
+func TestPatternMix(t *testing.T) {
+	d, err := ParseString(paperExcerpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := d.Pattern.Mix()
+	// The paper: 12.5% each of act/wrt/rd/pre, 50% nop.
+	for op, want := range map[Op]float64{
+		OpActivate: 0.125, OpWrite: 0.125, OpRead: 0.125,
+		OpPrecharge: 0.125, OpNop: 0.5,
+	} {
+		if math.Abs(mix[op]-want) > 1e-12 {
+			t.Errorf("mix[%v] = %g, want %g", op, mix[op], want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown section directive", "Bogus stuff\n", "unexpected directive"},
+		{"unknown floorplan directive", "FloorplanPhysical\nFrobnicate x=1\n", "unknown floorplan directive"},
+		{"bad axis", "FloorplanPhysical\nCellArray BL=q\n", "bad axis"},
+		{"bad bltype", "FloorplanPhysical\nCellArray BLtype=curly\n", "bad bitline architecture"},
+		{"bad blockref", "FloorplanSignaling\nDataW0 inside=zz\n", "bad block reference"},
+		{"unknown signal prefix", "FloorplanSignaling\nFoo0 inside=0_0\n", "cannot classify"},
+		{"unknown tech param", "Technology\nFluxCapacitance 1fF\n", "unknown technology parameter"},
+		{"tech param bad value", "Technology\nBitlineCap 80xF\n", "BitlineCap"},
+		{"unknown spec directive", "Specification\nWheels count=4\n", "unknown specification directive"},
+		{"bad pattern op", "Pattern loop= act jump\n", "unknown operation"},
+		{"pattern missing loop", "Pattern act nop\n", "expected 'Pattern loop="},
+		{"duplicate attr", "FloorplanSignaling\nDataW0 inside=0_0 inside=1_1\n", "duplicate attribute"},
+		{"unknown attr", "Specification\nIO width=16 color=red\n", "unknown attribute"},
+		{"dangling equals", "FloorplanPhysical\n= A1\n", "dangling"},
+		{"electrical junk", "Electrical\nVolts 1.5V\n", "unknown electrical directive"},
+		{"section arg", "FloorplanPhysical extra\n", "takes no arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("FloorplanPhysical\n\n# comment\nCellArray BL=q\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line: got %d, want 4", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	d, err := ParseString("# leading comment\n\nName test // trailing\n# done\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "test" {
+		t.Errorf("name: got %q", d.Name)
+	}
+}
+
+func TestLogicBlockParsing(t *testing.T) {
+	src := "LogicBlock name=ctrl gates=15000 nmos=0.5um pmos=1.0um pergate=4 density=25% wiring=40% toggle=0.3 active=rd,wrt\n"
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.LogicBlocks) != 1 {
+		t.Fatalf("blocks: got %d", len(d.LogicBlocks))
+	}
+	b := d.LogicBlocks[0]
+	if b.Name != "ctrl" || b.Gates != 15000 {
+		t.Errorf("block: got %+v", b)
+	}
+	if math.Abs(b.GateDensity-0.25) > 1e-12 {
+		t.Errorf("density: got %g", b.GateDensity)
+	}
+	if len(b.ActiveDuring) != 2 || b.ActiveDuring[0] != OpRead || b.ActiveDuring[1] != OpWrite {
+		t.Errorf("active: got %v", b.ActiveDuring)
+	}
+	if b.ActiveFor(OpNop) {
+		t.Error("rd/wrt block should not be active in nop")
+	}
+	if !b.ActiveFor(OpWrite) {
+		t.Error("rd/wrt block should be active in wrt")
+	}
+}
+
+func TestLogicBlockAlwaysActive(t *testing.T) {
+	d, err := ParseString("LogicBlock name=clk gates=100 nmos=1um pmos=2um active=always\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.LogicBlocks[0]
+	for _, op := range AllOps {
+		if !b.ActiveFor(op) {
+			t.Errorf("always-active block inactive for %v", op)
+		}
+	}
+}
+
+func TestElectricalParsing(t *testing.T) {
+	src := `Electrical
+Vdd 1.5V
+Vint 1.3V eff=87%
+Vbl 1.0V eff=80%
+Vpp 2.9V eff=45%
+ConstantCurrent 4mA
+`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := d.Electrical
+	if math.Abs(float64(el.Vdd)-1.5) > 1e-12 {
+		t.Errorf("Vdd: got %v", el.Vdd)
+	}
+	if math.Abs(el.EffInt-0.87) > 1e-12 {
+		t.Errorf("EffInt: got %g", el.EffInt)
+	}
+	if math.Abs(el.EffPp-0.45) > 1e-12 {
+		t.Errorf("EffPp: got %g", el.EffPp)
+	}
+	if math.Abs(float64(el.ConstantCurrent)-4e-3) > 1e-12 {
+		t.Errorf("ConstantCurrent: got %v", el.ConstantCurrent)
+	}
+	v, eff := el.DomainVoltageAndEff(DomainVpp)
+	if math.Abs(float64(v)-2.9) > 1e-12 || math.Abs(eff-0.45) > 1e-12 {
+		t.Errorf("DomainVoltageAndEff(Vpp): got %v, %g", v, eff)
+	}
+	v, eff = el.DomainVoltageAndEff(DomainVdd)
+	if math.Abs(float64(v)-1.5) > 1e-12 || eff != 1 {
+		t.Errorf("DomainVoltageAndEff(Vdd): got %v, %g", v, eff)
+	}
+}
+
+func TestTechnologyParsing(t *testing.T) {
+	src := `Technology
+GateOxideLogic 4nm
+BitlineCap 80fF
+CellCap 25fF
+BitlineToWLShare 30%
+BitsPerCSL 8
+WireCapSignal 0.2fF/um
+`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := d.Technology
+	if got := te.GateOxideLogic.Nanometers(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GateOxideLogic: got %gnm", got)
+	}
+	if got := te.BitlineCap.Femtofarads(); math.Abs(got-80) > 1e-9 {
+		t.Errorf("BitlineCap: got %gfF", got)
+	}
+	if math.Abs(te.BitlineToWLShare-0.3) > 1e-12 {
+		t.Errorf("BitlineToWLShare: got %g", te.BitlineToWLShare)
+	}
+	if te.BitsPerCSL != 8 {
+		t.Errorf("BitsPerCSL: got %d", te.BitsPerCSL)
+	}
+	wantWC := 0.2 * units.Femto / units.Micro
+	if math.Abs(float64(te.WireCapSignal)-wantWC) > 1e-20 {
+		t.Errorf("WireCapSignal: got %g, want %g", float64(te.WireCapSignal), wantWC)
+	}
+}
+
+func TestTechnologyParameterNamesComplete(t *testing.T) {
+	// Every listed name must have a setter and the list must cover all 39
+	// technology parameters of Table I.
+	var tech Technology
+	setters := technologySetters(&tech)
+	names := TechnologyParameterNames()
+	if len(names) != 39 {
+		t.Errorf("technology parameter count: got %d, want 39 (paper Section III.B.3)", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate parameter name %s", n)
+		}
+		seen[n] = true
+		if _, ok := setters[n]; !ok {
+			t.Errorf("parameter %s has no setter", n)
+		}
+	}
+	if len(setters) != len(names) {
+		t.Errorf("setters (%d) and names (%d) disagree", len(setters), len(names))
+	}
+}
+
+func TestSpecificationDerived(t *testing.T) {
+	d := Sample1GbDDR3()
+	if got := d.Spec.Banks(); got != 8 {
+		t.Errorf("banks: got %d, want 8", got)
+	}
+	// Page = 2^10 col addrs x 16 DQ = 16 Kbit = 2 KB.
+	if got := d.Spec.PageBits(); got != 16384 {
+		t.Errorf("page bits: got %d, want 16384", got)
+	}
+	if got := d.Spec.Prefetch(); got != 2 {
+		// datarate 1.6G / control clock 800M = 2 (DDR); the burst length
+		// field carries the architectural prefetch of 8.
+		t.Errorf("prefetch: got %d, want 2", got)
+	}
+}
+
+func TestSampleValidates(t *testing.T) {
+	d := Sample1GbDDR3()
+	if err := d.Validate(); err != nil {
+		ve := err.(*ValidationError)
+		for _, p := range ve.Problems {
+			t.Errorf("sample: %s", p)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Sample1GbDDR3()
+	c := d.Clone()
+	c.Floorplan.BlockWidth["A1"] = units.Micrometers(1)
+	c.Signals[0].Inside.X = 99
+	c.LogicBlocks[0].Gates = 1
+	c.Pattern.Loop[0] = OpNop
+	c.Floorplan.HorizontalBlocks[0] = "Z"
+	if d.Floorplan.BlockWidth["A1"] == units.Micrometers(1) {
+		t.Error("block width map shared")
+	}
+	if d.Signals[0].Inside.X == 99 {
+		t.Error("signal block ref shared")
+	}
+	if d.LogicBlocks[0].Gates == 1 {
+		t.Error("logic blocks shared")
+	}
+	if d.Pattern.Loop[0] == OpNop {
+		t.Error("pattern shared")
+	}
+	if d.Floorplan.HorizontalBlocks[0] == "Z" {
+		t.Error("horizontal blocks shared")
+	}
+}
+
+func TestKindForBus(t *testing.T) {
+	cases := map[string]SignalKind{
+		"DataW0": SigDataWrite, "DataR3": SigDataRead, "Data5": SigDataShared,
+		"Clk0": SigClock, "Ctrl1": SigControl, "Cmd0": SigControl,
+		"AddrRow0": SigAddrRow, "AddrCol2": SigAddrCol, "AddrBank0": SigAddrBank,
+	}
+	for name, want := range cases {
+		got, err := KindForBus(name)
+		if err != nil {
+			t.Errorf("KindForBus(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("KindForBus(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := KindForBus("Mystery0"); err == nil {
+		t.Error("KindForBus(Mystery0): expected error")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	d := Sample1GbDDR3()
+	d.Floorplan.BitsPerBitline = 0
+	d.Electrical.Vpp = 0.5 // below Vbl
+	d.Pattern.Loop = nil
+	d.Signals[0].Fraction = 2
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error is %T", err)
+	}
+	if len(ve.Problems) < 4 {
+		t.Errorf("expected at least 4 problems, got %d: %v", len(ve.Problems), ve.Problems)
+	}
+	joined := strings.Join(ve.Problems, "\n")
+	for _, want := range []string{"BitsPerBL", "Vpp", "pattern", "fraction"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestValidateSpanNeedsBothEnds(t *testing.T) {
+	d := Sample1GbDDR3()
+	d.Signals[1].Start = nil // had span form; now end only
+	d.Signals[1].Inside = nil
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for half-open span")
+	}
+}
+
+func TestDefaultToggle(t *testing.T) {
+	if DefaultToggle(SigClock) != 1.0 {
+		t.Error("clock toggle should be 1.0")
+	}
+	if DefaultToggle(SigDataRead) != 0.25 {
+		t.Error("data toggle should be 0.25")
+	}
+	if DefaultToggle(SigControl) >= DefaultToggle(SigDataRead) {
+		t.Error("control should toggle less than data")
+	}
+}

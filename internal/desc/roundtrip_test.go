@@ -1,0 +1,158 @@
+package desc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"drampower/internal/units"
+)
+
+// TestRoundTripSample checks Parse(Format(d)) == d for the sample device.
+func TestRoundTripSample(t *testing.T) {
+	d := Sample1GbDDR3()
+	src := Format(d)
+	back, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("reparsing formatted sample: %v\n%s", err, src)
+	}
+	diffDescriptions(t, d, back)
+}
+
+// TestRoundTripFixpoint checks Format(Parse(Format(d))) == Format(d).
+func TestRoundTripFixpoint(t *testing.T) {
+	d := Sample1GbDDR3()
+	once := Format(d)
+	back, err := ParseString(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := Format(back)
+	if once != twice {
+		t.Errorf("Format is not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// TestRoundTripPerturbed fuzzes numeric fields and re-checks the round trip,
+// a property test over the serializer precision.
+func TestRoundTripPerturbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		d := Sample1GbDDR3()
+		scale := 0.5 + rng.Float64()
+		d.Technology.BitlineCap = d.Technology.BitlineCap.Times(scale)
+		d.Technology.CellCap = d.Technology.CellCap.Times(2 - scale + 0.01)
+		d.Electrical.Vdd *= units.Voltage(0.9 + 0.2*rng.Float64())
+		d.Spec.IOWidth = []int{4, 8, 16, 32}[rng.Intn(4)]
+		d.Floorplan.BitsPerBitline = 256 << uint(rng.Intn(2))
+		back, err := ParseString(Format(d))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		diffDescriptions(t, d, back)
+		if t.Failed() {
+			t.Fatalf("failed at iteration %d", i)
+		}
+	}
+}
+
+// diffDescriptions compares two descriptions field by field with a small
+// relative tolerance on floats (serialization uses %g, which is exact for
+// float64, so exact equality is actually expected; the tolerance guards
+// against platform printf differences).
+func diffDescriptions(t *testing.T, a, b *Description) {
+	t.Helper()
+	av := reflect.ValueOf(*a)
+	bv := reflect.ValueOf(*b)
+	diffValue(t, "Description", av, bv)
+}
+
+func diffValue(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	if a.Type() != b.Type() {
+		t.Errorf("%s: type mismatch %v vs %v", path, a.Type(), b.Type())
+		return
+	}
+	switch a.Kind() {
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			diffValue(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Slice:
+		if a.Len() != b.Len() {
+			t.Errorf("%s: length %d vs %d", path, a.Len(), b.Len())
+			return
+		}
+		for i := 0; i < a.Len(); i++ {
+			diffValue(t, pathIndex(path, i), a.Index(i), b.Index(i))
+		}
+	case reflect.Map:
+		if a.Len() != b.Len() {
+			t.Errorf("%s: map length %d vs %d", path, a.Len(), b.Len())
+			return
+		}
+		for _, k := range a.MapKeys() {
+			bvv := b.MapIndex(k)
+			if !bvv.IsValid() {
+				t.Errorf("%s: key %v missing", path, k)
+				continue
+			}
+			diffValue(t, path+"["+k.String()+"]", a.MapIndex(k), bvv)
+		}
+	case reflect.Ptr:
+		if a.IsNil() != b.IsNil() {
+			t.Errorf("%s: nil-ness differs", path)
+			return
+		}
+		if !a.IsNil() {
+			diffValue(t, path, a.Elem(), b.Elem())
+		}
+	case reflect.Float64, reflect.Float32:
+		af, bf := a.Float(), b.Float()
+		if math.Abs(af-bf) > 1e-9*math.Abs(af)+1e-30 {
+			t.Errorf("%s: %g vs %g", path, af, bf)
+		}
+	default:
+		ai, bi := a.Interface(), b.Interface()
+		if !reflect.DeepEqual(ai, bi) {
+			t.Errorf("%s: %v vs %v", path, ai, bi)
+		}
+	}
+}
+
+func pathIndex(path string, i int) string {
+	return path + "[" + string(rune('0'+i%10)) + "]"
+}
+
+// TestRoundTripSchemeFields covers the partial-activation and segmented-bus
+// attributes the Section V scheme transforms set.
+func TestRoundTripSchemeFields(t *testing.T) {
+	d := Sample1GbDDR3()
+	d.Floorplan.ActivationFraction = 0.125
+	d.Signals[0].ActiveFrac = 0.55
+	back, err := ParseString(Format(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Floorplan.ActivationFraction != 0.125 {
+		t.Errorf("activation fraction: got %g", back.Floorplan.ActivationFraction)
+	}
+	if back.Signals[0].ActiveFrac != 0.55 {
+		t.Errorf("active fraction: got %g", back.Signals[0].ActiveFrac)
+	}
+	diffDescriptions(t, d, back)
+}
+
+// TestRoundTripMultiWordName covers generation-builder names with spaces.
+func TestRoundTripMultiWordName(t *testing.T) {
+	d := Sample1GbDDR3()
+	d.Name = "2G DDR3 x16 1600Mbps 55nm"
+	back, err := ParseString(Format(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name {
+		t.Errorf("name: got %q, want %q", back.Name, d.Name)
+	}
+}

@@ -1,0 +1,202 @@
+package desc
+
+import "drampower/internal/units"
+
+// Sample1GbDDR3 returns a complete description of a 1 Gb x16 DDR3-1600
+// device in a 55 nm technology, modeled on the floorplan of Figure 1 of
+// the paper: eight banks in a 4×2 arrangement, row logic between the
+// banks, column logic at the bank edges facing the center stripe, and the
+// pads, interface and control in the horizontal center stripe.
+//
+// The values are typical for the 55 nm generation (Section III.C / IV.A);
+// the miscellaneous logic gate counts are the calibration ("fit")
+// parameters of Section III.B.5. This device is the reference input for
+// unit tests throughout the repository; the generation builder in package
+// scaling derives all other devices.
+func Sample1GbDDR3() *Description {
+	d := &Description{Name: "1G-DDR3-x16-55nm"}
+
+	d.Floorplan = Floorplan{
+		BitlineDir:           Vertical,
+		BitsPerBitline:       512,
+		BitsPerLocalWordline: 512,
+		Arch:                 Open,
+		BlocksPerCSL:         1,
+		WordlinePitch:        units.Nanometers(165),
+		BitlinePitch:         units.Nanometers(110),
+		BLSAStripeWidth:      units.Micrometers(20),
+		LWDStripeWidth:       units.Micrometers(3),
+		// x: bank, row logic, bank, center spine, bank, row logic, bank
+		HorizontalBlocks: []string{"A1", "R1", "A1", "C0", "A1", "R1", "A1"},
+		// y: bank strip, column logic, center stripe, column logic, bank strip
+		VerticalBlocks: []string{"A1", "P1", "P2", "P1", "A1"},
+		BlockWidth: map[string]units.Length{
+			"A1": units.Micrometers(1900),
+			"R1": units.Micrometers(150),
+			"C0": units.Micrometers(260),
+			"P1": units.Micrometers(150), // not used horizontally
+			"P2": units.Micrometers(150),
+		},
+		BlockHeight: map[string]units.Length{
+			"A1": units.Micrometers(1700),
+			"P1": units.Micrometers(180),
+			"P2": units.Micrometers(700),
+			"R1": units.Micrometers(1700),
+			"C0": units.Micrometers(1700),
+		},
+	}
+
+	// Signaling floorplan (Section III.B.2, Figure 1's write bus example).
+	// Data path: 1:8 deserializer near the pads in the center stripe, a hop
+	// along the center stripe to the bank column, up through the column
+	// logic, then master array data lines across the bank.
+	seg := func(s Segment) Segment { s.Toggle = -1; return s }
+	ref := func(x, y int) *BlockRef { return &BlockRef{X: x, Y: y} }
+	d.Signals = []Segment{
+		// Write path.
+		seg(Segment{Name: "DataW0", Kind: SigDataWrite, Inside: ref(3, 2), Fraction: 0.25, Dir: Horizontal, MuxRatio: 8,
+			BufNWidth: units.Micrometers(9.6), BufPWidth: units.Micrometers(19.2)}),
+		seg(Segment{Name: "DataW1", Kind: SigDataWrite, Start: ref(3, 2), End: ref(1, 2),
+			BufNWidth: units.Micrometers(9.6), BufPWidth: units.Micrometers(19.2)}),
+		seg(Segment{Name: "DataW2", Kind: SigDataWrite, Start: ref(1, 2), End: ref(1, 1),
+			BufNWidth: units.Micrometers(4.8), BufPWidth: units.Micrometers(9.6)}),
+		seg(Segment{Name: "DataW3", Kind: SigDataWrite, Inside: ref(0, 0), Fraction: 0.5, Dir: Horizontal,
+			BufNWidth: units.Micrometers(4.8), BufPWidth: units.Micrometers(9.6)}),
+		// Read path mirrors the write path.
+		seg(Segment{Name: "DataR0", Kind: SigDataRead, Inside: ref(0, 0), Fraction: 0.5, Dir: Horizontal,
+			BufNWidth: units.Micrometers(4.8), BufPWidth: units.Micrometers(9.6)}),
+		seg(Segment{Name: "DataR1", Kind: SigDataRead, Start: ref(1, 1), End: ref(1, 2),
+			BufNWidth: units.Micrometers(4.8), BufPWidth: units.Micrometers(9.6)}),
+		seg(Segment{Name: "DataR2", Kind: SigDataRead, Start: ref(1, 2), End: ref(3, 2),
+			BufNWidth: units.Micrometers(9.6), BufPWidth: units.Micrometers(19.2)}),
+		seg(Segment{Name: "DataR3", Kind: SigDataRead, Inside: ref(3, 2), Fraction: 0.25, Dir: Horizontal, MuxRatio: 8,
+			BufNWidth: units.Micrometers(9.6), BufPWidth: units.Micrometers(19.2)}),
+		// Clock trunk along the center stripe (true + complement).
+		seg(Segment{Name: "Clk0", Kind: SigClock, Start: ref(0, 2), End: ref(6, 2), Wires: 2,
+			BufNWidth: units.Micrometers(9.6), BufPWidth: units.Micrometers(19.2)}),
+		// Command/control distribution along the center stripe.
+		seg(Segment{Name: "Ctrl0", Kind: SigControl, Start: ref(0, 2), End: ref(6, 2),
+			BufNWidth: units.Micrometers(2.4), BufPWidth: units.Micrometers(4.8)}),
+		// Row address: center stripe to the row logic spines.
+		seg(Segment{Name: "AddrRow0", Kind: SigAddrRow, Start: ref(3, 2), End: ref(1, 2),
+			BufNWidth: units.Micrometers(2.4), BufPWidth: units.Micrometers(4.8)}),
+		seg(Segment{Name: "AddrRow1", Kind: SigAddrRow, Start: ref(1, 2), End: ref(1, 0),
+			BufNWidth: units.Micrometers(2.4), BufPWidth: units.Micrometers(4.8)}),
+		// Column address: center stripe to the column logic stripes.
+		seg(Segment{Name: "AddrCol0", Kind: SigAddrCol, Start: ref(3, 2), End: ref(1, 1),
+			BufNWidth: units.Micrometers(2.4), BufPWidth: units.Micrometers(4.8)}),
+		// Bank address distributed with the control bus.
+		seg(Segment{Name: "AddrBank0", Kind: SigAddrBank, Start: ref(3, 2), End: ref(1, 2),
+			BufNWidth: units.Micrometers(2.4), BufPWidth: units.Micrometers(4.8)}),
+	}
+
+	d.Technology = Technology{
+		GateOxideLogic:     units.Nanometers(4),
+		GateOxideHV:        units.Nanometers(7),
+		GateOxideCell:      units.Nanometers(6.5),
+		MinGateLengthLogic: units.Nanometers(90),
+		JunctionCapLogic:   units.FemtofaradsPerMicrometer(0.8),
+		MinGateLengthHV:    units.Nanometers(250),
+		JunctionCapHV:      units.FemtofaradsPerMicrometer(1.2),
+		CellAccessLength:   units.Nanometers(100),
+		CellAccessWidth:    units.Nanometers(55),
+		BitlineCap:         units.Femtofarads(90),
+		CellCap:            units.Femtofarads(25),
+		BitlineToWLShare:   0.30,
+		BitsPerCSL:         8,
+		WireCapMWL:         units.FemtofaradsPerMicrometer(0.25),
+		MWLPredecodeRatio:  0.25,
+		MWLDecoderNMOS:     units.Micrometers(1.0),
+		MWLDecoderPMOS:     units.Micrometers(2.0),
+		MWLDecoderActivity: 0.25,
+		WLControlLoadNMOS:  units.Micrometers(2.0),
+		WLControlLoadPMOS:  units.Micrometers(4.0),
+		SWDriverNMOS:       units.Micrometers(0.6),
+		SWDriverPMOS:       units.Micrometers(1.2),
+		SWDriverRestore:    units.Micrometers(0.3),
+		WireCapLWL:         units.FemtofaradsPerMicrometer(0.15),
+
+		BLSASenseNMOSWidth:  units.Micrometers(0.7),
+		BLSASenseNMOSLength: units.Nanometers(120),
+		BLSASensePMOSWidth:  units.Micrometers(0.9),
+		BLSASensePMOSLength: units.Nanometers(120),
+		BLSAEqualizeWidth:   units.Micrometers(0.3),
+		BLSAEqualizeLength:  units.Nanometers(90),
+		BLSABitSwitchWidth:  units.Micrometers(0.5),
+		BLSABitSwitchLength: units.Nanometers(90),
+		BLSAMuxWidth:        0, // open bitline: no bitline multiplexer
+		BLSAMuxLength:       0,
+		BLSANSetWidth:       units.Micrometers(0.8),
+		BLSANSetLength:      units.Nanometers(120),
+		BLSAPSetWidth:       units.Micrometers(0.8),
+		BLSAPSetLength:      units.Nanometers(120),
+
+		WireCapSignal: units.FemtofaradsPerMicrometer(0.20),
+	}
+
+	d.Spec = Specification{
+		IOWidth:          16,
+		DataRate:         units.Gbps(1.6),
+		ClockWires:       2,
+		DataClock:        units.Megahertz(800),
+		ControlClock:     units.Megahertz(800),
+		BankAddrBits:     3,
+		RowAddrBits:      13,
+		ColAddrBits:      10,
+		MiscCtrlSignals:  8,
+		BurstLength:      8,
+		RowCycle:         units.Nanoseconds(48.75),
+		RowToColumnDelay: units.Nanoseconds(13.75),
+		PrechargeTime:    units.Nanoseconds(13.75),
+		CASLatency:       units.Nanoseconds(13.75),
+		FourBankWindow:   units.Nanoseconds(40),
+		RowToRowDelay:    units.Nanoseconds(7.5),
+		RefreshInterval:  units.Duration(7.8 * units.Micro),
+		RefreshCycle:     units.Nanoseconds(110),
+	}
+
+	d.Electrical = Electrical{
+		Vdd:  1.5,
+		Vint: 1.3,
+		Vbl:  1.1,
+		Vpp:  2.9,
+		// Charge-transfer efficiencies: the regulators pass charge nearly
+		// one to one; the Vpp charge pump doubles, drawing two units of
+		// supply charge per unit delivered.
+		EffInt: 0.95,
+		EffBl:  0.90,
+		EffPp:  0.50,
+		// DLL bias, input receivers and the rest of the power system: the
+		// constant sink of Table I ("used e.g. for reference currents,
+		// power system").
+		ConstantCurrent: units.Milliamps(12),
+	}
+
+	// Miscellaneous peripheral logic (fit parameters, Section III.B.5).
+	d.LogicBlocks = []LogicBlock{
+		{Name: "clocktree", Gates: 2400, AvgNMOSWidth: units.Micrometers(0.6),
+			AvgPMOSWidth: units.Micrometers(1.2), TransistorsPerGate: 4,
+			GateDensity: 0.30, WiringDensity: 0.45, Toggle: 0.6},
+		{Name: "control", Gates: 4800, AvgNMOSWidth: units.Micrometers(0.5),
+			AvgPMOSWidth: units.Micrometers(1.0), TransistorsPerGate: 4,
+			GateDensity: 0.25, WiringDensity: 0.40, Toggle: 0.2},
+		{Name: "rowlogic", Gates: 12000, AvgNMOSWidth: units.Micrometers(0.5),
+			AvgPMOSWidth: units.Micrometers(1.0), TransistorsPerGate: 4,
+			GateDensity: 0.25, WiringDensity: 0.40, Toggle: 0.8,
+			ActiveDuring: []Op{OpActivate, OpPrecharge, OpRefresh}},
+		{Name: "columnlogic", Gates: 21600, AvgNMOSWidth: units.Micrometers(0.5),
+			AvgPMOSWidth: units.Micrometers(1.0), TransistorsPerGate: 4,
+			GateDensity: 0.25, WiringDensity: 0.40, Toggle: 0.25,
+			ActiveDuring: []Op{OpRead, OpWrite}},
+		{Name: "interface", Gates: 24000, AvgNMOSWidth: units.Micrometers(0.6),
+			AvgPMOSWidth: units.Micrometers(1.2), TransistorsPerGate: 4,
+			GateDensity: 0.30, WiringDensity: 0.45, Toggle: 0.5,
+			ActiveDuring: []Op{OpRead, OpWrite}},
+	}
+
+	d.Pattern = Pattern{Loop: []Op{
+		OpActivate, OpNop, OpWrite, OpNop, OpRead, OpNop, OpPrecharge, OpNop,
+	}}
+
+	return d
+}

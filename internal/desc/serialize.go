@@ -1,0 +1,227 @@
+package desc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"drampower/internal/units"
+)
+
+// Format renders the description in the input language such that
+// Parse(Format(d)) reproduces d. It is used for golden files, for emitting
+// derived descriptions (scaled generations, scheme variants) and for the
+// round-trip property test.
+func Format(d *Description) string {
+	var b strings.Builder
+	write(&b, d)
+	return b.String()
+}
+
+// WriteTo writes the formatted description to w.
+func WriteTo(w io.Writer, d *Description) error {
+	_, err := io.WriteString(w, Format(d))
+	return err
+}
+
+func write(b *strings.Builder, d *Description) {
+	if d.Name != "" {
+		fmt.Fprintf(b, "Name %s\n\n", d.Name)
+	}
+
+	fp := &d.Floorplan
+	b.WriteString("FloorplanPhysical\n")
+	fmt.Fprintf(b, "CellArray BL=%s BitsPerBL=%d BitsPerLWL=%d BLtype=%s\n",
+		fp.BitlineDir, fp.BitsPerBitline, fp.BitsPerLocalWordline, fp.Arch)
+	fmt.Fprintf(b, "CellArray WLpitch=%s BLpitch=%s\n",
+		lenStr(fp.WordlinePitch), lenStr(fp.BitlinePitch))
+	fmt.Fprintf(b, "Stripes BLSA=%s LWD=%s\n",
+		lenStr(fp.BLSAStripeWidth), lenStr(fp.LWDStripeWidth))
+	if fp.ActivationFraction > 0 && fp.ActivationFraction != 1 {
+		fmt.Fprintf(b, "CellArray ActFraction=%g\n", fp.ActivationFraction)
+	}
+	fmt.Fprintf(b, "CSL blocks=%d\n", fp.BlocksPerCSL)
+	fmt.Fprintf(b, "Horizontal blocks = %s\n", strings.Join(fp.HorizontalBlocks, " "))
+	fmt.Fprintf(b, "SizeHorizontal %s\n", sizeList(fp.BlockWidth))
+	fmt.Fprintf(b, "Vertical blocks = %s\n", strings.Join(fp.VerticalBlocks, " "))
+	fmt.Fprintf(b, "SizeVertical %s\n", sizeList(fp.BlockHeight))
+
+	b.WriteString("\nFloorplanSignaling\n")
+	for _, s := range d.Signals {
+		fmt.Fprintf(b, "%s", s.Name)
+		if s.Inside != nil {
+			fmt.Fprintf(b, " inside=%s fraction=%g dir=%s", s.Inside, s.Fraction, s.Dir)
+		}
+		if s.Start != nil {
+			fmt.Fprintf(b, " start=%s", s.Start)
+		}
+		if s.End != nil {
+			fmt.Fprintf(b, " end=%s", s.End)
+		}
+		if s.BufNWidth > 0 {
+			fmt.Fprintf(b, " NchW=%s", lenStr(s.BufNWidth))
+		}
+		if s.BufPWidth > 0 {
+			fmt.Fprintf(b, " PchW=%s", lenStr(s.BufPWidth))
+		}
+		if s.MuxRatio > 1 {
+			fmt.Fprintf(b, " mux=1:%d", s.MuxRatio)
+		}
+		if s.Toggle >= 0 {
+			fmt.Fprintf(b, " toggle=%g", s.Toggle)
+		}
+		if s.Wires > 0 {
+			fmt.Fprintf(b, " wires=%d", s.Wires)
+		}
+		if s.ActiveFrac > 0 && s.ActiveFrac != 1 {
+			fmt.Fprintf(b, " activefrac=%g", s.ActiveFrac)
+		}
+		b.WriteByte('\n')
+	}
+
+	t := &d.Technology
+	b.WriteString("\nTechnology\n")
+	for _, kv := range []struct {
+		key string
+		val string
+	}{
+		{"GateOxideLogic", lenStr(t.GateOxideLogic)},
+		{"GateOxideHV", lenStr(t.GateOxideHV)},
+		{"GateOxideCell", lenStr(t.GateOxideCell)},
+		{"MinGateLengthLogic", lenStr(t.MinGateLengthLogic)},
+		{"JunctionCapLogic", cplStr(t.JunctionCapLogic)},
+		{"MinGateLengthHV", lenStr(t.MinGateLengthHV)},
+		{"JunctionCapHV", cplStr(t.JunctionCapHV)},
+		{"CellAccessLength", lenStr(t.CellAccessLength)},
+		{"CellAccessWidth", lenStr(t.CellAccessWidth)},
+		{"BitlineCap", capStr(t.BitlineCap)},
+		{"CellCap", capStr(t.CellCap)},
+		{"BitlineToWLShare", fmt.Sprintf("%g", t.BitlineToWLShare)},
+		{"BitsPerCSL", fmt.Sprintf("%d", t.BitsPerCSL)},
+		{"WireCapMWL", cplStr(t.WireCapMWL)},
+		{"MWLPredecodeRatio", fmt.Sprintf("%g", t.MWLPredecodeRatio)},
+		{"MWLDecoderNMOS", lenStr(t.MWLDecoderNMOS)},
+		{"MWLDecoderPMOS", lenStr(t.MWLDecoderPMOS)},
+		{"MWLDecoderActivity", fmt.Sprintf("%g", t.MWLDecoderActivity)},
+		{"WLControlLoadNMOS", lenStr(t.WLControlLoadNMOS)},
+		{"WLControlLoadPMOS", lenStr(t.WLControlLoadPMOS)},
+		{"SWDriverNMOS", lenStr(t.SWDriverNMOS)},
+		{"SWDriverPMOS", lenStr(t.SWDriverPMOS)},
+		{"SWDriverRestore", lenStr(t.SWDriverRestore)},
+		{"WireCapLWL", cplStr(t.WireCapLWL)},
+		{"BLSASenseNMOSWidth", lenStr(t.BLSASenseNMOSWidth)},
+		{"BLSASenseNMOSLength", lenStr(t.BLSASenseNMOSLength)},
+		{"BLSASensePMOSWidth", lenStr(t.BLSASensePMOSWidth)},
+		{"BLSASensePMOSLength", lenStr(t.BLSASensePMOSLength)},
+		{"BLSAEqualizeWidth", lenStr(t.BLSAEqualizeWidth)},
+		{"BLSAEqualizeLength", lenStr(t.BLSAEqualizeLength)},
+		{"BLSABitSwitchWidth", lenStr(t.BLSABitSwitchWidth)},
+		{"BLSABitSwitchLength", lenStr(t.BLSABitSwitchLength)},
+		{"BLSAMuxWidth", lenStr(t.BLSAMuxWidth)},
+		{"BLSAMuxLength", lenStr(t.BLSAMuxLength)},
+		{"BLSANSetWidth", lenStr(t.BLSANSetWidth)},
+		{"BLSANSetLength", lenStr(t.BLSANSetLength)},
+		{"BLSAPSetWidth", lenStr(t.BLSAPSetWidth)},
+		{"BLSAPSetLength", lenStr(t.BLSAPSetLength)},
+		{"WireCapSignal", cplStr(t.WireCapSignal)},
+	} {
+		fmt.Fprintf(b, "%s %s\n", kv.key, kv.val)
+	}
+
+	s := &d.Spec
+	b.WriteString("\nSpecification\n")
+	fmt.Fprintf(b, "IO width=%d datarate=%s\n", s.IOWidth, rateStr(s.DataRate))
+	fmt.Fprintf(b, "Clock number=%d frequency=%s\n", s.ClockWires, freqStr(s.DataClock))
+	fmt.Fprintf(b, "Control frequency=%s bankadd=%d rowadd=%d coladd=%d misc=%d\n",
+		freqStr(s.ControlClock), s.BankAddrBits, s.RowAddrBits, s.ColAddrBits,
+		s.MiscCtrlSignals)
+	if s.BurstLength > 0 {
+		fmt.Fprintf(b, "Burst length=%d\n", s.BurstLength)
+	}
+	b.WriteString("Timing")
+	for _, kv := range []struct {
+		key string
+		val units.Duration
+	}{
+		{"tRC", s.RowCycle}, {"tRCD", s.RowToColumnDelay},
+		{"tRP", s.PrechargeTime}, {"CL", s.CASLatency},
+		{"tFAW", s.FourBankWindow}, {"tRRD", s.RowToRowDelay},
+		{"tREFI", s.RefreshInterval}, {"tRFC", s.RefreshCycle},
+	} {
+		if kv.val > 0 {
+			fmt.Fprintf(b, " %s=%s", kv.key, durStr(kv.val))
+		}
+	}
+	b.WriteByte('\n')
+
+	el := &d.Electrical
+	b.WriteString("\nElectrical\n")
+	fmt.Fprintf(b, "Vdd %s\n", voltStr(el.Vdd))
+	fmt.Fprintf(b, "Vint %s eff=%g\n", voltStr(el.Vint), el.EffInt)
+	fmt.Fprintf(b, "Vbl %s eff=%g\n", voltStr(el.Vbl), el.EffBl)
+	fmt.Fprintf(b, "Vpp %s eff=%g\n", voltStr(el.Vpp), el.EffPp)
+	if el.ConstantCurrent > 0 {
+		fmt.Fprintf(b, "ConstantCurrent %s\n", units.FormatSI(float64(el.ConstantCurrent), "A"))
+	}
+
+	b.WriteByte('\n')
+	for _, lb := range d.LogicBlocks {
+		fmt.Fprintf(b, "LogicBlock name=%s gates=%d nmos=%s pmos=%s pergate=%g density=%g wiring=%g toggle=%g",
+			lb.Name, lb.Gates, lenStr(lb.AvgNMOSWidth), lenStr(lb.AvgPMOSWidth),
+			lb.TransistorsPerGate, lb.GateDensity, lb.WiringDensity, lb.Toggle)
+		if len(lb.ActiveDuring) > 0 {
+			names := make([]string, len(lb.ActiveDuring))
+			for i, op := range lb.ActiveDuring {
+				names[i] = op.String()
+			}
+			fmt.Fprintf(b, " active=%s", strings.Join(names, ","))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(d.Pattern.Loop) > 0 {
+		fmt.Fprintf(b, "\nPattern loop= %s\n", d.Pattern.String())
+	}
+}
+
+func sizeList(m map[string]units.Length) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, lenStr(m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Precise (non-rounding) formatters: serialization must round-trip exactly,
+// so these use full float precision in fixed convenient units.
+func lenStr(l units.Length) string {
+	return fmt.Sprintf("%gnm", float64(l)/units.Nano)
+}
+
+func capStr(c units.Capacitance) string {
+	return fmt.Sprintf("%gfF", float64(c)/units.Femto)
+}
+
+func cplStr(c units.CapacitancePerLength) string {
+	return fmt.Sprintf("%gfF/um", float64(c)/(units.Femto/units.Micro))
+}
+
+func voltStr(v units.Voltage) string { return fmt.Sprintf("%gV", float64(v)) }
+
+func freqStr(f units.Frequency) string {
+	return fmt.Sprintf("%gMHz", float64(f)/units.Mega)
+}
+
+func rateStr(r units.DataRate) string {
+	return fmt.Sprintf("%gMbps", float64(r)/units.Mega)
+}
+
+func durStr(d units.Duration) string {
+	return fmt.Sprintf("%gns", float64(d)/units.Nano)
+}

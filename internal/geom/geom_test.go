@@ -1,0 +1,317 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+func sampleGrid(t *testing.T) (*desc.Description, *Grid) {
+	t.Helper()
+	d := desc.Sample1GbDDR3()
+	g, err := NewGrid(&d.Floorplan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, g
+}
+
+func TestGridDimensions(t *testing.T) {
+	_, g := sampleGrid(t)
+	// width: 4 banks x 1900 + 2 row logic x 150 + spine 260 = 7960 um
+	wantW := 4*1900.0 + 2*150 + 260
+	if got := g.Width.Micrometers(); math.Abs(got-wantW) > 1e-6 {
+		t.Errorf("die width: got %gum, want %gum", got, wantW)
+	}
+	// height: 2 bank strips x 1700 + 2 column logic x 180 + center 700 = 4460 um
+	wantH := 2*1700.0 + 2*180 + 700
+	if got := g.Height.Micrometers(); math.Abs(got-wantH) > 1e-6 {
+		t.Errorf("die height: got %gum, want %gum", got, wantH)
+	}
+	wantArea := wantW * wantH * 1e-12 // m^2
+	if got := float64(g.DieArea()); math.Abs(got-wantArea) > 1e-9*wantArea {
+		t.Errorf("die area: got %g, want %g", got, wantArea)
+	}
+}
+
+func TestGridMissingSize(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	delete(d.Floorplan.BlockWidth, "R1")
+	if _, err := NewGrid(&d.Floorplan); err == nil {
+		t.Error("expected error for missing block size")
+	}
+	d = desc.Sample1GbDDR3()
+	delete(d.Floorplan.BlockHeight, "P2")
+	if _, err := NewGrid(&d.Floorplan); err == nil {
+		t.Error("expected error for missing block height")
+	}
+}
+
+func TestBlockCenterMonotonic(t *testing.T) {
+	_, g := sampleGrid(t)
+	var prev units.Length = -1
+	for x := 0; x < 7; x++ {
+		cx, _, err := g.BlockCenter(desc.BlockRef{X: x, Y: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cx <= prev {
+			t.Errorf("column centers not monotonic at x=%d: %v <= %v", x, cx, prev)
+		}
+		prev = cx
+	}
+}
+
+func TestBlockCenterValues(t *testing.T) {
+	_, g := sampleGrid(t)
+	// x=0 is a bank of width 1900um: center at 950um.
+	cx, cy, err := g.BlockCenter(desc.BlockRef{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cx.Micrometers(); math.Abs(got-950) > 1e-6 {
+		t.Errorf("center x: got %gum, want 950um", got)
+	}
+	if got := cy.Micrometers(); math.Abs(got-850) > 1e-6 {
+		t.Errorf("center y: got %gum, want 850um", got)
+	}
+	// x=1 is row logic (width 150) after the bank: center at 1900+75.
+	cx, _, err = g.BlockCenter(desc.BlockRef{X: 1, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cx.Micrometers(); math.Abs(got-1975) > 1e-6 {
+		t.Errorf("center x of col 1: got %gum, want 1975um", got)
+	}
+}
+
+func TestBlockRefOutOfRange(t *testing.T) {
+	_, g := sampleGrid(t)
+	for _, r := range []desc.BlockRef{{X: 7, Y: 0}, {X: 0, Y: 5}, {X: -1, Y: 0}} {
+		if _, _, err := g.BlockCenter(r); err == nil {
+			t.Errorf("BlockCenter(%v): expected error", r)
+		}
+		if _, _, err := g.BlockSize(r); err == nil {
+			t.Errorf("BlockSize(%v): expected error", r)
+		}
+		if g.IsArray(r) {
+			t.Errorf("IsArray(%v): out-of-range ref reported as array", r)
+		}
+	}
+}
+
+func TestArrayBlocks(t *testing.T) {
+	_, g := sampleGrid(t)
+	refs := g.ArrayBlocks()
+	// 4 bank columns x 2 bank rows = 8 banks, matching Figure 1.
+	if len(refs) != 8 {
+		t.Fatalf("array blocks: got %d, want 8", len(refs))
+	}
+	for _, r := range refs {
+		if !g.IsArray(r) {
+			t.Errorf("block %v not classified as array", r)
+		}
+		if r.Y != 0 && r.Y != 4 {
+			t.Errorf("bank at unexpected row %v", r)
+		}
+	}
+}
+
+func TestSegmentLengthInside(t *testing.T) {
+	d, g := sampleGrid(t)
+	// DataW0: inside (3,2) (the center spine x center stripe), 25% of the
+	// horizontal extent (260um) = 65um.
+	s := &d.Signals[0]
+	l, err := g.SegmentLength(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Micrometers(); math.Abs(got-65) > 1e-6 {
+		t.Errorf("DataW0 length: got %gum, want 65um", got)
+	}
+}
+
+func TestSegmentLengthSpan(t *testing.T) {
+	d, g := sampleGrid(t)
+	// DataW1: (3,2) -> (1,2): Manhattan distance between the centers of
+	// column 3 (center spine) and column 1 (row logic), same row.
+	s := &d.Signals[1]
+	l, err := g.SegmentLength(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// centers: col3 = 1900+150+1900+130 = 4080; col1 = 1975; dist = 2105.
+	if got := l.Micrometers(); math.Abs(got-2105) > 1e-6 {
+		t.Errorf("DataW1 length: got %gum, want 2105um", got)
+	}
+}
+
+func TestSegmentLengthManhattan(t *testing.T) {
+	d, g := sampleGrid(t)
+	s := &desc.Segment{
+		Name: "DataW9", Kind: desc.SigDataWrite,
+		Start: &desc.BlockRef{X: 1, Y: 2}, End: &desc.BlockRef{X: 1, Y: 0},
+	}
+	l, err := g.SegmentLength(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y centers: row2 = 1700+180+350 = 2230; row0 = 850; dist = 1380.
+	if got := l.Micrometers(); math.Abs(got-1380) > 1e-6 {
+		t.Errorf("vertical span: got %gum, want 1380um", got)
+	}
+	_ = d
+}
+
+func TestSegmentLengthErrors(t *testing.T) {
+	_, g := sampleGrid(t)
+	bad := &desc.Segment{Name: "DataW9"}
+	if _, err := g.SegmentLength(bad); err == nil {
+		t.Error("expected error for formless segment")
+	}
+	oob := &desc.Segment{Name: "DataW9", Inside: &desc.BlockRef{X: 99, Y: 0}, Fraction: 0.5}
+	if _, err := g.SegmentLength(oob); err == nil {
+		t.Error("expected error for out-of-range inside block")
+	}
+}
+
+func TestResolveArraySample(t *testing.T) {
+	d, g := sampleGrid(t)
+	w, h, err := ArrayBlockExtents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ResolveArray(&d.Floorplan, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Along bitlines (vertical, 1700um): sub-array = 512*165nm = 84.48um;
+	// (1700-20)/(84.48+20) = 16.07 -> 16 sub-arrays, 17 BLSA stripes.
+	if a.SubarraysAlongBL != 16 {
+		t.Errorf("subarrays along BL: got %d, want 16", a.SubarraysAlongBL)
+	}
+	if a.BLSAStripes != 17 {
+		t.Errorf("BLSA stripes: got %d, want 17", a.BLSAStripes)
+	}
+	if a.CellsPerBLDir != 8192 {
+		t.Errorf("wordlines per bank: got %d, want 8192", a.CellsPerBLDir)
+	}
+	// Across (horizontal, 1900um): LWL = 512*110nm = 56.32um;
+	// (1900-3)/(56.32+3) = 31.98 -> 31 sub-arrays... verify computed value
+	// is in the paper's 16-32 range and consistent.
+	if a.SubarraysAlongWL < 16 || a.SubarraysAlongWL > 32 {
+		t.Errorf("subarrays along WL: got %d, want within [16,32]", a.SubarraysAlongWL)
+	}
+	if a.LWDStripes != a.SubarraysAlongWL+1 {
+		t.Errorf("LWD stripes: got %d, want %d", a.LWDStripes, a.SubarraysAlongWL+1)
+	}
+	if a.PageBits != a.SubarraysAlongWL*512 {
+		t.Errorf("page bits: got %d, want %d", a.PageBits, a.SubarraysAlongWL*512)
+	}
+	if got := a.LocalBLLength.Micrometers(); math.Abs(got-84.48) > 1e-6 {
+		t.Errorf("local BL length: got %gum, want 84.48um", got)
+	}
+	if got := a.MasterWLLength.Micrometers(); math.Abs(got-1900) > 1e-6 {
+		t.Errorf("master WL length: got %gum, want 1900um", got)
+	}
+	if got := a.CSLLength.Micrometers(); math.Abs(got-1700) > 1e-6 {
+		t.Errorf("CSL length: got %gum, want 1700um", got)
+	}
+}
+
+func TestResolveArrayHorizontalBitlines(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	d.Floorplan.BitlineDir = desc.Horizontal
+	a, err := ResolveArray(&d.Floorplan, units.Micrometers(1900), units.Micrometers(1700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axes swap: bitlines now run along the 1900um extent.
+	subLen := 512 * 0.165 // um
+	want := int((1900 - 20) / (subLen + 20))
+	if a.SubarraysAlongBL != want {
+		t.Errorf("subarrays along BL: got %d, want %d", a.SubarraysAlongBL, want)
+	}
+	if got := a.MasterWLLength.Micrometers(); math.Abs(got-1700) > 1e-6 {
+		t.Errorf("master WL length: got %gum, want 1700um", got)
+	}
+}
+
+func TestResolveArrayErrors(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	d.Floorplan.WordlinePitch = 0
+	if _, err := ResolveArray(&d.Floorplan, 1, 1); err == nil {
+		t.Error("expected error for zero pitch")
+	}
+	d = desc.Sample1GbDDR3()
+	d.Floorplan.BitsPerBitline = 0
+	if _, err := ResolveArray(&d.Floorplan, 1, 1); err == nil {
+		t.Error("expected error for zero bits per bitline")
+	}
+}
+
+func TestResolveArrayTinyBank(t *testing.T) {
+	// A bank smaller than one sub-array still resolves to one sub-array.
+	d := desc.Sample1GbDDR3()
+	a, err := ResolveArray(&d.Floorplan, units.Micrometers(10), units.Micrometers(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SubarraysAlongBL != 1 || a.SubarraysAlongWL != 1 {
+		t.Errorf("tiny bank: got %dx%d sub-arrays, want 1x1",
+			a.SubarraysAlongBL, a.SubarraysAlongWL)
+	}
+}
+
+// Property: die dimensions equal the sum of block extents, for random
+// block sizes.
+func TestPropGridSums(t *testing.T) {
+	f := func(rawW, rawH [3]uint16) bool {
+		fp := desc.Floorplan{
+			HorizontalBlocks: []string{"A1", "B1", "C1"},
+			VerticalBlocks:   []string{"A1", "B1"},
+			BlockWidth:       map[string]units.Length{},
+			BlockHeight:      map[string]units.Length{},
+		}
+		var sumW, sumH float64
+		for i, n := range fp.HorizontalBlocks {
+			w := float64(rawW[i]%5000+1) * 1e-6
+			fp.BlockWidth[n] = units.Length(w)
+			sumW += w
+		}
+		for i, n := range fp.VerticalBlocks {
+			h := float64(rawH[i]%5000+1) * 1e-6
+			fp.BlockHeight[n] = units.Length(h)
+			sumH += h
+		}
+		g, err := NewGrid(&fp)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(g.Width)-sumW) < 1e-12 &&
+			math.Abs(float64(g.Height)-sumH) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Manhattan segment length is symmetric in start and end.
+func TestPropSegmentSymmetric(t *testing.T) {
+	_, g := sampleGrid(t)
+	f := func(x1, y1, x2, y2 uint8) bool {
+		a := desc.BlockRef{X: int(x1 % 7), Y: int(y1 % 5)}
+		b := desc.BlockRef{X: int(x2 % 7), Y: int(y2 % 5)}
+		s1 := &desc.Segment{Name: "Data1", Start: &a, End: &b}
+		s2 := &desc.Segment{Name: "Data2", Start: &b, End: &a}
+		l1, err1 := g.SegmentLength(s1)
+		l2, err2 := g.SegmentLength(s2)
+		return err1 == nil && err2 == nil && l1 == l2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package scaling implements the technology-scaling model of Section III.C
+// and the trend analyses of Section IV.C of the paper: a roadmap of DRAM
+// process generations from 170 nm (SDR, year 2000) to 16 nm (DDR5,
+// forecast 2018), the per-parameter shrink curves of Figures 5–7, the
+// disruptive technology changes of Table II, and a generation builder that
+// produces a complete desc.Description for any node — the input to the
+// power engine for the voltage/timing/energy trend reproductions
+// (Figures 11–13) and the Pareto devices of Figure 10 / Table III.
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"drampower/internal/units"
+)
+
+// Interface is a DRAM interface generation.
+type Interface int
+
+// Interface generations in roadmap order.
+const (
+	SDR Interface = iota
+	DDR
+	DDR2
+	DDR3
+	DDR4
+	DDR5
+)
+
+var interfaceNames = map[Interface]string{
+	SDR: "SDR", DDR: "DDR", DDR2: "DDR2", DDR3: "DDR3", DDR4: "DDR4", DDR5: "DDR5",
+}
+
+// String returns the interface name.
+func (i Interface) String() string { return interfaceNames[i] }
+
+// Prefetch returns the architectural prefetch of the interface: the pin
+// data rate doubles at each interface transition while the core frequency
+// stays flat, so the prefetch doubles (Section IV.C).
+func (i Interface) Prefetch() int {
+	switch i {
+	case SDR:
+		return 1
+	case DDR:
+		return 2
+	case DDR2:
+		return 4
+	case DDR3, DDR4:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// Banks returns the typical bank count of the interface generation.
+func (i Interface) Banks() int {
+	switch i {
+	case SDR, DDR:
+		return 4
+	case DDR2, DDR3:
+		return 8
+	case DDR4:
+		return 16
+	default:
+		return 32
+	}
+}
+
+// CellArch describes the cell architecture era (Table II transitions).
+type CellArch int
+
+// Cell architectures: 8F² folded bitline (through 75 nm), 6F² open bitline
+// (65–44 nm), 4F² vertical access transistor (36 nm on, forecast).
+const (
+	Cell8F2 CellArch = iota
+	Cell6F2
+	Cell4F2
+)
+
+// String names the cell architecture.
+func (c CellArch) String() string {
+	switch c {
+	case Cell8F2:
+		return "8F2 folded"
+	case Cell6F2:
+		return "6F2 open"
+	default:
+		return "4F2 vertical"
+	}
+}
+
+// AreaFactor returns the cell area in units of F².
+func (c CellArch) AreaFactor() float64 {
+	switch c {
+	case Cell8F2:
+		return 8
+	case Cell6F2:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// Node is one technology generation of the roadmap.
+type Node struct {
+	// FeatureNm is the minimum feature size in nanometers (the x axis of
+	// Figures 5–7 and 11–13).
+	FeatureNm float64
+	// Year is the approximate year of peak usage.
+	Year float64
+	// Interface is the mainstream interface at the node's peak.
+	Interface Interface
+	// DensityBits is the device density chosen so the die lands in the
+	// 40–60 mm² sweet spot of Section IV.C.
+	DensityBits int64
+	// DataRate is the per-pin data rate of a high-end x16 part.
+	DataRate units.DataRate
+	// Voltages (Figure 11).
+	Vdd, Vint, Vbl, Vpp units.Voltage
+	// Row timings (Figure 12).
+	TRC, TRCD, TRP units.Duration
+	// Arch is the cell architecture era.
+	Arch CellArch
+	// BitsPerBL is the local bitline length in cells (Table II: increases
+	// at the 110→90 nm transition).
+	BitsPerBL int
+}
+
+// DensityMbit returns the density in megabits.
+func (n Node) DensityMbit() int64 { return n.DensityBits / (1 << 20) }
+
+// Name identifies the node like the paper does: "2G DDR3 55nm".
+func (n Node) Name() string {
+	d := n.DensityMbit()
+	ds := fmt.Sprintf("%dM", d)
+	if d >= 1024 {
+		ds = fmt.Sprintf("%dG", d/1024)
+	}
+	return fmt.Sprintf("%s %s %.0fnm", ds, n.Interface, n.FeatureNm)
+}
+
+// roadmap is the generation table. Feature sizes shrink by 16 % per
+// generation on average (Section III.C); voltages follow the historical
+// JEDEC interfaces and the ITRS forecast (Figure 11); data rates double at
+// each interface transition (Figure 12); densities keep the die in the
+// 40–60 mm² band (Section IV.C).
+var roadmap = []Node{
+	{170, 2000.0, SDR, 128 << 20, units.Gbps(0.133), 3.3, 2.9, 2.0, 4.5, units.Nanoseconds(65), units.Nanoseconds(20), units.Nanoseconds(20), Cell8F2, 256},
+	{140, 2001.5, SDR, 256 << 20, units.Gbps(0.166), 3.3, 2.8, 1.9, 4.3, units.Nanoseconds(63), units.Nanoseconds(19), units.Nanoseconds(19), Cell8F2, 256},
+	{110, 2003.0, DDR, 256 << 20, units.Gbps(0.333), 2.5, 2.2, 1.8, 3.8, units.Nanoseconds(60), units.Nanoseconds(18), units.Nanoseconds(18), Cell8F2, 256},
+	{90, 2004.5, DDR, 512 << 20, units.Gbps(0.4), 2.5, 2.0, 1.6, 3.6, units.Nanoseconds(58), units.Nanoseconds(17), units.Nanoseconds(17), Cell8F2, 512},
+	{75, 2006.0, DDR2, 1 << 30, units.Gbps(0.667), 1.8, 1.6, 1.4, 3.2, units.Nanoseconds(55), units.Nanoseconds(15), units.Nanoseconds(15), Cell8F2, 512},
+	{65, 2007.5, DDR2, 1 << 30, units.Gbps(0.8), 1.8, 1.5, 1.3, 3.0, units.Nanoseconds(52), units.Nanoseconds(15), units.Nanoseconds(15), Cell6F2, 512},
+	{55, 2009.0, DDR3, 2 << 30, units.Gbps(1.6), 1.5, 1.3, 1.1, 2.9, units.Nanoseconds(48.75), units.Nanoseconds(13.75), units.Nanoseconds(13.75), Cell6F2, 512},
+	{44, 2010.5, DDR3, 2 << 30, units.Gbps(1.6), 1.5, 1.25, 1.05, 2.8, units.Nanoseconds(48), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell6F2, 512},
+	{36, 2012.0, DDR4, 4 << 30, units.Gbps(2.133), 1.2, 1.15, 1.0, 2.7, units.Nanoseconds(47), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+	{31, 2013.5, DDR4, 4 << 30, units.Gbps(2.667), 1.2, 1.1, 0.975, 2.6, units.Nanoseconds(47), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+	{25, 2015.0, DDR4, 8 << 30, units.Gbps(3.2), 1.2, 1.05, 0.95, 2.5, units.Nanoseconds(46), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+	{21, 2016.5, DDR5, 8 << 30, units.Gbps(4.8), 1.1, 1.0, 0.9, 2.5, units.Nanoseconds(46), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+	{18, 2017.5, DDR5, 16 << 30, units.Gbps(6.4), 1.1, 1.0, 0.9, 2.4, units.Nanoseconds(45), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+	{16, 2018.0, DDR5, 16 << 30, units.Gbps(6.4), 1.05, 0.95, 0.85, 2.4, units.Nanoseconds(45), units.Nanoseconds(13.5), units.Nanoseconds(13.5), Cell4F2, 512},
+}
+
+// Roadmap returns the full generation table in shrinking-feature order.
+func Roadmap() []Node {
+	out := make([]Node, len(roadmap))
+	copy(out, roadmap)
+	return out
+}
+
+// NodeFor returns the roadmap node with the given feature size in
+// nanometers.
+func NodeFor(featureNm float64) (Node, error) {
+	for _, n := range roadmap {
+		if math.Abs(n.FeatureNm-featureNm) < 0.5 {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("scaling: no roadmap node at %g nm", featureNm)
+}
+
+// AverageShrink returns the mean feature shrink per generation across the
+// roadmap; the paper states 16 %.
+func AverageShrink() float64 {
+	first := roadmap[0].FeatureNm
+	last := roadmap[len(roadmap)-1].FeatureNm
+	gens := float64(len(roadmap) - 1)
+	return 1 - math.Pow(last/first, 1/gens)
+}
+
+// Disruption is one row of Table II: a disruptive technology change at a
+// specific transition.
+type Disruption struct {
+	Transition string
+	Change     string
+	Background string
+}
+
+// DisruptiveChanges returns Table II of the paper.
+func DisruptiveChanges() []Disruption {
+	return []Disruption{
+		{"250nm to 110nm", "Stitched wordline to segmented wordline",
+			"Minimum feature size of aluminum wiring no longer feasible"},
+		{"110nm to 90nm", "Increase in number of cells per bitline and/or local wordline",
+			"Leads to smaller die size; better control of technology and design"},
+		{"110nm to 90nm", "Introduction of dual gate oxide",
+			"Allows lower voltage operation and better performance of standard logic transistors"},
+		{"90nm to 75nm", "Introduction of p+ gate doping of PMOS transistors",
+			"Buried channel pfet performance not sufficient for standard logic of high data rate DRAMs"},
+		{"90nm to 75nm", "Introduction of 3-dimensional access transistor",
+			"Planar transistor device length got too short for threshold voltage control"},
+		{"75nm to 65nm", "Cell architecture 8f2 folded bitline to 6f2 open bitline",
+			"Leads to smaller die size; better control of technology and design"},
+		{"55nm to 44nm", "Cu metallization",
+			"Lower resistance and/or capacitance in wiring for improved performance and/or power reduction"},
+		{"40nm to 36nm", "Cell architecture 6f2 to 4f2 with vertical access transistor",
+			"Leads to smaller die size; better control of technology and design"},
+		{"36nm to 31nm", "High-k dielectric gate oxide",
+			"Better subthreshold behavior and reduced gate leakage"},
+	}
+}

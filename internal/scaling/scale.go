@@ -1,0 +1,120 @@
+package scaling
+
+import (
+	"math"
+	"sort"
+)
+
+// The shrink-curve model of Figures 5–7: each technology parameter scales
+// as (f/f₀)^α relative to its value at the 55 nm anchor node. α = 1 means
+// the parameter follows the feature size ("f-shrink", the solid reference
+// line of the figures); α < 1 means it shrinks more slowly, which is the
+// general observation of Section III.C; α = 0 means it does not scale.
+//
+// The exponents encode the qualitative content of the figures: gate oxides
+// and junction capacitances scale slowly, channel lengths follow the
+// feature size closely, the cell capacitance is held nearly constant to
+// preserve refresh time, specific wire capacitance barely changes, and
+// device widths track lengths to keep W/L ratios constant.
+
+// anchorNm is the feature size whose parameter values are taken as the
+// anchor (the calibrated 55 nm DDR3 device).
+const anchorNm = 55.0
+
+// ScaleExponents maps parameter families to their shrink exponent α.
+var ScaleExponents = map[string]float64{
+	// Figure 5: transistor parameters.
+	"GateOxideLogic":     0.60,
+	"GateOxideHV":        0.30,
+	"GateOxideCell":      0.30,
+	"MinGateLengthLogic": 0.90,
+	"MinGateLengthHV":    0.70,
+	"JunctionCap":        0.20,
+	"CellAccessLength":   0.30, // 3-D access transistor decouples L from F
+	"CellAccessWidth":    1.00, // follows the feature size
+
+	// Figure 6: capacitances, logic width, stripe widths.
+	"BitlineCapPerCell": 0.20, // bitline cap per cell shrinks slowly
+	"CellCap":           0.00, // held constant for refresh
+	"WireCap":           0.05, // specific wire capacitance nearly constant
+	"MiscLogicWidth":    0.85,
+	"BLSAStripeWidth":   0.75,
+	"LWDStripeWidth":    0.75,
+
+	// Figure 7: core device widths and lengths.
+	"BLSADeviceWidth":  0.85,
+	"BLSADeviceLength": 0.80,
+	"RowDeviceWidth":   0.85,
+}
+
+// cuMetalFactor is the wiring-capacitance improvement of the Cu (and
+// low-k) metallization introduced at the 55→44 nm transition (Table II).
+const cuMetalFactor = 0.85
+
+// ScaleFrom55 returns the multiplier for a parameter family at feature
+// size f (nm): (f/55)^α. Unknown families scale with α = 0.5 (a moderate
+// shrink, the paper's default assumption when the ITRS gives no guidance).
+func ScaleFrom55(family string, featureNm float64) float64 {
+	alpha, ok := ScaleExponents[family]
+	if !ok {
+		alpha = 0.5
+	}
+	s := math.Pow(featureNm/anchorNm, alpha)
+	if isWiringFamily(family) && featureNm <= 44 {
+		s *= cuMetalFactor
+	}
+	return s
+}
+
+func isWiringFamily(family string) bool {
+	return family == "WireCap" || family == "BitlineCapPerCell"
+}
+
+// ShrinkTable returns, for each roadmap node, the shrink factor of every
+// listed parameter family relative to the 170 nm generation — the series
+// plotted in Figures 5–7 (which normalize to the oldest node). The
+// families are returned in sorted order for stable output.
+func ShrinkTable(families []string) (nodes []Node, rows map[string][]float64) {
+	nodes = Roadmap()
+	rows = make(map[string][]float64, len(families))
+	sorted := append([]string(nil), families...)
+	sort.Strings(sorted)
+	base := nodes[0].FeatureNm
+	for _, fam := range sorted {
+		series := make([]float64, len(nodes))
+		ref := ScaleFrom55(fam, base)
+		for i, n := range nodes {
+			series[i] = ScaleFrom55(fam, n.FeatureNm) / ref
+		}
+		rows[fam] = series
+	}
+	return nodes, rows
+}
+
+// FShrinkSeries returns the reference feature-size shrink line of the
+// figures: f/170 for each node.
+func FShrinkSeries() []float64 {
+	nodes := Roadmap()
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.FeatureNm / nodes[0].FeatureNm
+	}
+	return out
+}
+
+// Figure5Families lists the parameter families of Figure 5.
+func Figure5Families() []string {
+	return []string{"GateOxideLogic", "GateOxideHV", "GateOxideCell",
+		"MinGateLengthLogic", "JunctionCap", "CellAccessLength", "CellAccessWidth"}
+}
+
+// Figure6Families lists the parameter families of Figure 6.
+func Figure6Families() []string {
+	return []string{"BitlineCapPerCell", "CellCap", "WireCap",
+		"MiscLogicWidth", "BLSAStripeWidth", "LWDStripeWidth"}
+}
+
+// Figure7Families lists the parameter families of Figure 7.
+func Figure7Families() []string {
+	return []string{"BLSADeviceWidth", "BLSADeviceLength", "RowDeviceWidth"}
+}

@@ -1,0 +1,275 @@
+// Package sensitivity implements the power-consumption Pareto of
+// Section IV.B of the paper (Figure 10, Table III): every model parameter
+// is varied by ±20 % and the resulting change of pattern power is
+// recorded, ranking the parameters by their impact — "not only to learn
+// where power can be saved but also which parameters need to be
+// understood well to have an accurate model".
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+// Parameter is one knob of the sweep: a named, dimensionless scaling
+// applied to a clone of the description.
+type Parameter struct {
+	// Name follows the paper's labels ("Internal voltage Vint",
+	// "Specific wire capacitance", "Number of logic gates", ...).
+	Name string
+	// ExcludedFromChart marks parameters the paper leaves out of
+	// Figure 10 (the external supply voltage, whose ±20 % trivially moves
+	// power by 40 %).
+	ExcludedFromChart bool
+	// Apply scales the parameter by the given factor on d.
+	Apply func(d *desc.Description, factor float64)
+}
+
+// Registry returns the swept parameters. Aggregate entries scale all
+// members of a family together, mirroring the paper's grouping (e.g. one
+// "Specific wire capacitance" knob, one "Number of logic gates" knob).
+func Registry() []Parameter {
+	scaleLen := func(l *units.Length, f float64) { *l = units.Length(float64(*l) * f) }
+	return []Parameter{
+		{Name: "External voltage Vdd", ExcludedFromChart: true,
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.Vdd = units.Voltage(float64(d.Electrical.Vdd) * f)
+			}},
+		{Name: "Internal voltage Vint",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.Vint = units.Voltage(float64(d.Electrical.Vint) * f)
+			}},
+		{Name: "Bitline voltage",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.Vbl = units.Voltage(float64(d.Electrical.Vbl) * f)
+			}},
+		{Name: "Wordline voltage Vpp",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.Vpp = units.Voltage(float64(d.Electrical.Vpp) * f)
+			}},
+		{Name: "Generator efficiency Vint",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.EffInt = clampEff(d.Electrical.EffInt * f)
+			}},
+		{Name: "Generator efficiency bitline voltage",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.EffBl = clampEff(d.Electrical.EffBl * f)
+			}},
+		{Name: "Generator efficiency wordline voltage",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.EffPp = clampEff(d.Electrical.EffPp * f)
+			}},
+		{Name: "Constant current adder",
+			Apply: func(d *desc.Description, f float64) {
+				d.Electrical.ConstantCurrent = units.Current(float64(d.Electrical.ConstantCurrent) * f)
+			}},
+		{Name: "Specific wire capacitance",
+			Apply: func(d *desc.Description, f float64) {
+				t := &d.Technology
+				t.WireCapSignal = units.CapacitancePerLength(float64(t.WireCapSignal) * f)
+				t.WireCapMWL = units.CapacitancePerLength(float64(t.WireCapMWL) * f)
+				t.WireCapLWL = units.CapacitancePerLength(float64(t.WireCapLWL) * f)
+			}},
+		{Name: "Bitline capacitance",
+			Apply: func(d *desc.Description, f float64) {
+				d.Technology.BitlineCap = d.Technology.BitlineCap.Times(f)
+			}},
+		{Name: "Cell capacitance",
+			Apply: func(d *desc.Description, f float64) {
+				d.Technology.CellCap = d.Technology.CellCap.Times(f)
+			}},
+		{Name: "Gate oxide thickness",
+			Apply: func(d *desc.Description, f float64) {
+				t := &d.Technology
+				scaleLen(&t.GateOxideLogic, f)
+				scaleLen(&t.GateOxideHV, f)
+				scaleLen(&t.GateOxideCell, f)
+			}},
+		{Name: "Junction capacitance logic",
+			Apply: func(d *desc.Description, f float64) {
+				t := &d.Technology
+				t.JunctionCapLogic = units.CapacitancePerLength(float64(t.JunctionCapLogic) * f)
+				t.JunctionCapHV = units.CapacitancePerLength(float64(t.JunctionCapHV) * f)
+			}},
+		{Name: "Number of logic gates",
+			Apply: func(d *desc.Description, f float64) {
+				for i := range d.LogicBlocks {
+					d.LogicBlocks[i].Gates = int(float64(d.LogicBlocks[i].Gates)*f + 0.5)
+				}
+			}},
+		{Name: "Width NFET logic",
+			Apply: func(d *desc.Description, f float64) {
+				for i := range d.LogicBlocks {
+					scaleLen(&d.LogicBlocks[i].AvgNMOSWidth, f)
+				}
+				for i := range d.Signals {
+					scaleLen(&d.Signals[i].BufNWidth, f)
+				}
+			}},
+		{Name: "Width PFET logic",
+			Apply: func(d *desc.Description, f float64) {
+				for i := range d.LogicBlocks {
+					scaleLen(&d.LogicBlocks[i].AvgPMOSWidth, f)
+				}
+				for i := range d.Signals {
+					scaleLen(&d.Signals[i].BufPWidth, f)
+				}
+			}},
+		{Name: "Logic device density",
+			Apply: func(d *desc.Description, f float64) {
+				for i := range d.LogicBlocks {
+					d.LogicBlocks[i].GateDensity = clampFrac(d.LogicBlocks[i].GateDensity * f)
+				}
+			}},
+		{Name: "Logic wiring density",
+			Apply: func(d *desc.Description, f float64) {
+				for i := range d.LogicBlocks {
+					d.LogicBlocks[i].WiringDensity = clampFrac(d.LogicBlocks[i].WiringDensity * f)
+				}
+			}},
+		{Name: "Sense amplifier device width",
+			Apply: func(d *desc.Description, f float64) {
+				t := &d.Technology
+				for _, w := range []*units.Length{
+					&t.BLSASenseNMOSWidth, &t.BLSASensePMOSWidth,
+					&t.BLSAEqualizeWidth, &t.BLSABitSwitchWidth,
+					&t.BLSAMuxWidth, &t.BLSANSetWidth, &t.BLSAPSetWidth,
+				} {
+					scaleLen(w, f)
+				}
+			}},
+		{Name: "Row driver device width",
+			Apply: func(d *desc.Description, f float64) {
+				t := &d.Technology
+				for _, w := range []*units.Length{
+					&t.MWLDecoderNMOS, &t.MWLDecoderPMOS,
+					&t.WLControlLoadNMOS, &t.WLControlLoadPMOS,
+					&t.SWDriverNMOS, &t.SWDriverPMOS, &t.SWDriverRestore,
+				} {
+					scaleLen(w, f)
+				}
+			}},
+		{Name: "Cell access transistor size",
+			Apply: func(d *desc.Description, f float64) {
+				scaleLen(&d.Technology.CellAccessWidth, f)
+				scaleLen(&d.Technology.CellAccessLength, f)
+			}},
+	}
+}
+
+func clampEff(e float64) float64 {
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+func clampFrac(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Result records the power response of one parameter.
+type Result struct {
+	Name string
+	// DeltaUpPct / DeltaDownPct are the relative power changes (percent)
+	// at +20 % and −20 % of the parameter.
+	DeltaUpPct, DeltaDownPct float64
+	// RangePct is the full variation |P(+20%) − P(−20%)| / P(base), the
+	// quantity of Figure 10 (40 % means directly proportional).
+	RangePct float64
+}
+
+// Variation is the relative parameter excursion of the sweep (the paper
+// uses ±20 %).
+const Variation = 0.20
+
+// Sweep varies every registry parameter on the given description and
+// returns the results sorted by descending range, evaluating the
+// description's pattern. Parameters excluded from the chart are omitted;
+// use SweepAll to include them.
+func Sweep(d *desc.Description) ([]Result, error) {
+	all, err := SweepAll(d)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	excluded := map[string]bool{}
+	for _, p := range Registry() {
+		if p.ExcludedFromChart {
+			excluded[p.Name] = true
+		}
+	}
+	for _, r := range all {
+		if !excluded[r.Name] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// SweepAll is Sweep including chart-excluded parameters.
+func SweepAll(d *desc.Description) ([]Result, error) {
+	base, err := core.Build(d.Clone())
+	if err != nil {
+		return nil, err
+	}
+	basePower := float64(base.EvaluatePattern(base.PatternIDD7(0.5)).Power)
+	if basePower <= 0 {
+		return nil, fmt.Errorf("sensitivity: base power is %g", basePower)
+	}
+
+	eval := func(p Parameter, factor float64) (float64, error) {
+		c := d.Clone()
+		p.Apply(c, factor)
+		m, err := core.Build(c)
+		if err != nil {
+			return 0, fmt.Errorf("sensitivity: %s x%g: %w", p.Name, factor, err)
+		}
+		return float64(m.EvaluatePattern(m.PatternIDD7(0.5)).Power), nil
+	}
+
+	var results []Result
+	for _, p := range Registry() {
+		up, err := eval(p, 1+Variation)
+		if err != nil {
+			return nil, err
+		}
+		down, err := eval(p, 1-Variation)
+		if err != nil {
+			return nil, err
+		}
+		r := Result{
+			Name:         p.Name,
+			DeltaUpPct:   100 * (up - basePower) / basePower,
+			DeltaDownPct: 100 * (down - basePower) / basePower,
+			RangePct:     100 * abs(up-down) / basePower,
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].RangePct > results[j].RangePct
+	})
+	return results, nil
+}
+
+// Top returns the n highest-impact results (Table III shows the top 10).
+func Top(results []Result, n int) []Result {
+	if n > len(results) {
+		n = len(results)
+	}
+	return results[:n]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

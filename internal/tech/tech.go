@@ -1,0 +1,153 @@
+// Package tech implements the device and wire capacitance models of
+// Section III.B.2–3 of the paper: gate capacitance from gate area and
+// equivalent oxide thickness, junction capacitance from junction width and
+// a specific capacitance per width, and wire capacitance from length and a
+// specific capacitance per length. Everything the power engine charges or
+// discharges is expressed through these three calculators.
+package tech
+
+import (
+	"math"
+
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+// Permittivity constants.
+const (
+	// Epsilon0 is the vacuum permittivity in F/m.
+	Epsilon0 = 8.8541878128e-12
+	// EpsilonSiO2 is the relative permittivity of silicon dioxide. Gate
+	// oxide thicknesses in the model are equivalent (SiO2) thicknesses, so
+	// high-k stacks are already folded into the thickness value.
+	EpsilonSiO2 = 3.9
+	// EpsilonOx is the absolute gate oxide permittivity in F/m.
+	EpsilonOx = Epsilon0 * EpsilonSiO2
+)
+
+// GateCap returns the gate capacitance of a transistor of the given width,
+// length and equivalent oxide thickness: C = εox · W · L / tox.
+func GateCap(w, l, tox units.Length) units.Capacitance {
+	if tox <= 0 {
+		return 0
+	}
+	return units.Capacitance(EpsilonOx * float64(w) * float64(l) / float64(tox))
+}
+
+// JunctionCap returns the junction (drain/source) capacitance of a device
+// of the given width: C = cj · W with cj the specific junction capacitance
+// per meter of device width.
+func JunctionCap(w units.Length, cj units.CapacitancePerLength) units.Capacitance {
+	return units.Capacitance(float64(cj) * float64(w))
+}
+
+// WireCap returns the capacitance of a wire: C = c · len.
+func WireCap(l units.Length, c units.CapacitancePerLength) units.Capacitance {
+	return units.Capacitance(float64(c) * float64(l))
+}
+
+// DeviceClass selects which oxide / junction parameters apply to a device.
+type DeviceClass int
+
+// Device classes of the model: general logic transistors (Vint domain),
+// thick-oxide high-voltage transistors (Vpp domain) and the cell access
+// transistor.
+const (
+	ClassLogic DeviceClass = iota
+	ClassHV
+	ClassCell
+)
+
+// Params bundles the technology description with derived accessors.
+type Params struct {
+	T *desc.Technology
+}
+
+// Oxide returns the equivalent gate oxide thickness of the class.
+func (p Params) Oxide(c DeviceClass) units.Length {
+	switch c {
+	case ClassHV:
+		return p.T.GateOxideHV
+	case ClassCell:
+		return p.T.GateOxideCell
+	}
+	return p.T.GateOxideLogic
+}
+
+// Junction returns the specific junction capacitance of the class. The
+// cell access transistor junction is dominated by the cell contact and is
+// folded into the bitline capacitance, so ClassCell reports the HV value
+// (its gate oxide class) for the rare cases where a junction estimate is
+// needed.
+func (p Params) Junction(c DeviceClass) units.CapacitancePerLength {
+	if c == ClassLogic {
+		return p.T.JunctionCapLogic
+	}
+	return p.T.JunctionCapHV
+}
+
+// GateLoad returns the gate capacitance of a device of width w and length
+// l in class c. A zero length selects the class's minimum gate length.
+func (p Params) GateLoad(w, l units.Length, c DeviceClass) units.Capacitance {
+	if l == 0 {
+		switch c {
+		case ClassHV:
+			l = p.T.MinGateLengthHV
+		case ClassCell:
+			l = p.T.CellAccessLength
+		default:
+			l = p.T.MinGateLengthLogic
+		}
+	}
+	return GateCap(w, l, p.Oxide(c))
+}
+
+// DrainLoad returns the junction capacitance a device of width w in class
+// c presents to the node at its drain.
+func (p Params) DrainLoad(w units.Length, c DeviceClass) units.Capacitance {
+	return JunctionCap(w, p.Junction(c))
+}
+
+// BufferLoad returns the switching load of a CMOS buffer/re-driver with
+// the given NMOS and PMOS widths: the input gate capacitance of both
+// devices plus their output junction capacitance (the self-load the buffer
+// adds to the wire it drives). Buffers in the signaling floorplan are
+// general-logic devices.
+func (p Params) BufferLoad(wn, wp units.Length) units.Capacitance {
+	in := p.GateLoad(wn, 0, ClassLogic) + p.GateLoad(wp, 0, ClassLogic)
+	out := p.DrainLoad(wn, ClassLogic) + p.DrainLoad(wp, ClassLogic)
+	return in + out
+}
+
+// CellAccessGateCap returns the gate capacitance of one cell access
+// transistor, the dominant load of a local wordline.
+func (p Params) CellAccessGateCap() units.Capacitance {
+	return GateCap(p.T.CellAccessWidth, p.T.CellAccessLength, p.T.GateOxideCell)
+}
+
+// LogicGateCap returns the average switched capacitance per gate of a
+// miscellaneous logic block: the gate and junction capacitance of its
+// average transistors plus an area-derived local wiring load
+// (Section III.B.5: "the wire load as function of the block size").
+func (p Params) LogicGateCap(b *desc.LogicBlock, wireCap units.CapacitancePerLength) units.Capacitance {
+	avgW := units.Length((float64(b.AvgNMOSWidth) + float64(b.AvgPMOSWidth)) / 2)
+	perTransistor := p.GateLoad(avgW, 0, ClassLogic) + p.DrainLoad(avgW, ClassLogic)
+	device := perTransistor.Times(b.TransistorsPerGate)
+
+	// Block area from the gate count: each transistor occupies
+	// W × L / density. Local wiring charges each gate with a routed wire
+	// several gate pitches long (fanout routing within the block), scaled
+	// by the wiring density. DRAM periphery has few metal levels, so
+	// routes detour: logicRoutingFactor pitches per net is typical.
+	if b.GateDensity > 0 && wireCap > 0 {
+		areaPerGate := float64(avgW) * float64(p.T.MinGateLengthLogic) *
+			b.TransistorsPerGate / b.GateDensity
+		wireLen := units.Length(math.Sqrt(areaPerGate) * logicRoutingFactor)
+		device += WireCap(wireLen, wireCap).Times(b.WiringDensity * b.TransistorsPerGate)
+	}
+	return device
+}
+
+// logicRoutingFactor is the average routed wire length per gate of
+// peripheral logic, in units of the gate pitch.
+const logicRoutingFactor = 6

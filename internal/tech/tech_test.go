@@ -1,0 +1,161 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+func sampleParams() Params {
+	d := desc.Sample1GbDDR3()
+	return Params{T: &d.Technology}
+}
+
+func TestGateCap(t *testing.T) {
+	// 1um x 100nm gate over 4nm oxide:
+	// C = 3.9*8.854e-12 * 1e-6 * 1e-7 / 4e-9 = 0.863 fF
+	c := GateCap(units.Micrometers(1), units.Nanometers(100), units.Nanometers(4))
+	want := EpsilonOx * 1e-6 * 1e-7 / 4e-9
+	if math.Abs(float64(c)-want) > 1e-9*want {
+		t.Errorf("gate cap: got %v, want %g", c, want)
+	}
+	// Sanity: the number should be in the sub-femtofarad ballpark.
+	if ff := c.Femtofarads(); ff < 0.5 || ff > 1.5 {
+		t.Errorf("gate cap out of physical ballpark: %g fF", ff)
+	}
+	if GateCap(1, 1, 0) != 0 {
+		t.Error("zero oxide thickness should yield zero capacitance")
+	}
+}
+
+func TestJunctionCap(t *testing.T) {
+	c := JunctionCap(units.Micrometers(2), units.FemtofaradsPerMicrometer(0.8))
+	if got := c.Femtofarads(); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("junction cap: got %gfF, want 1.6fF", got)
+	}
+}
+
+func TestWireCap(t *testing.T) {
+	c := WireCap(units.Micrometers(1000), units.FemtofaradsPerMicrometer(0.2))
+	if got := c.Femtofarads(); math.Abs(got-200) > 1e-6 {
+		t.Errorf("wire cap: got %gfF, want 200fF", got)
+	}
+}
+
+func TestOxideSelection(t *testing.T) {
+	p := sampleParams()
+	if p.Oxide(ClassLogic) != p.T.GateOxideLogic {
+		t.Error("logic oxide mismatch")
+	}
+	if p.Oxide(ClassHV) != p.T.GateOxideHV {
+		t.Error("HV oxide mismatch")
+	}
+	if p.Oxide(ClassCell) != p.T.GateOxideCell {
+		t.Error("cell oxide mismatch")
+	}
+}
+
+func TestJunctionSelection(t *testing.T) {
+	p := sampleParams()
+	if p.Junction(ClassLogic) != p.T.JunctionCapLogic {
+		t.Error("logic junction mismatch")
+	}
+	if p.Junction(ClassHV) != p.T.JunctionCapHV {
+		t.Error("HV junction mismatch")
+	}
+}
+
+func TestGateLoadDefaultLength(t *testing.T) {
+	p := sampleParams()
+	w := units.Micrometers(1)
+	// Explicit minimum length equals default (zero) length.
+	if p.GateLoad(w, p.T.MinGateLengthLogic, ClassLogic) != p.GateLoad(w, 0, ClassLogic) {
+		t.Error("default logic gate length should be the minimum gate length")
+	}
+	if p.GateLoad(w, p.T.MinGateLengthHV, ClassHV) != p.GateLoad(w, 0, ClassHV) {
+		t.Error("default HV gate length should be the minimum HV gate length")
+	}
+	if p.GateLoad(w, p.T.CellAccessLength, ClassCell) != p.GateLoad(w, 0, ClassCell) {
+		t.Error("default cell gate length should be the access transistor length")
+	}
+}
+
+func TestBufferLoad(t *testing.T) {
+	p := sampleParams()
+	got := p.BufferLoad(units.Micrometers(9.6), units.Micrometers(19.2))
+	// Must equal the sum of its parts.
+	want := p.GateLoad(units.Micrometers(9.6), 0, ClassLogic) +
+		p.GateLoad(units.Micrometers(19.2), 0, ClassLogic) +
+		p.DrainLoad(units.Micrometers(9.6), ClassLogic) +
+		p.DrainLoad(units.Micrometers(19.2), ClassLogic)
+	if math.Abs(float64(got)-float64(want)) > 1e-9*float64(want) {
+		t.Errorf("buffer load: got %v, want %v", got, want)
+	}
+	// Physical ballpark: tens of fF for a large re-driver.
+	if ff := got.Femtofarads(); ff < 10 || ff > 200 {
+		t.Errorf("buffer load out of ballpark: %g fF", ff)
+	}
+}
+
+func TestCellAccessGateCap(t *testing.T) {
+	p := sampleParams()
+	c := p.CellAccessGateCap()
+	// 55nm x 100nm gate over 6.5nm: ~0.03 fF.
+	if ff := c.Femtofarads(); ff < 0.01 || ff > 0.1 {
+		t.Errorf("cell access gate cap out of ballpark: %g fF", ff)
+	}
+}
+
+func TestLogicGateCap(t *testing.T) {
+	p := sampleParams()
+	d := desc.Sample1GbDDR3()
+	b := &d.LogicBlocks[0]
+	c := p.LogicGateCap(b, p.T.WireCapSignal)
+	// A 4-transistor gate with ~1um devices: a few fF including wiring.
+	if ff := c.Femtofarads(); ff < 1 || ff > 30 {
+		t.Errorf("logic gate cap out of ballpark: %g fF", ff)
+	}
+	// Without wiring the load must be strictly smaller.
+	noWire := p.LogicGateCap(b, 0)
+	if noWire >= c {
+		t.Errorf("wiring load missing: %v >= %v", noWire, c)
+	}
+}
+
+// Property: gate capacitance is linear in width and inversely proportional
+// to oxide thickness.
+func TestPropGateCapScaling(t *testing.T) {
+	f := func(wRaw, toxRaw uint16) bool {
+		w := units.Length(float64(wRaw%1000+1) * 1e-9)
+		tox := units.Length(float64(toxRaw%20+1) * 1e-9)
+		l := units.Nanometers(100)
+		c1 := GateCap(w, l, tox)
+		c2 := GateCap(w*2, l, tox)
+		c3 := GateCap(w, l, tox*2)
+		lin := math.Abs(float64(c2)-2*float64(c1)) < 1e-9*float64(c2)
+		inv := math.Abs(float64(c3)-0.5*float64(c1)) < 1e-9*float64(c1)
+		return lin && inv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LogicGateCap grows monotonically with transistor count.
+func TestPropLogicGateCapMonotonic(t *testing.T) {
+	p := sampleParams()
+	d := desc.Sample1GbDDR3()
+	f := func(nRaw uint8) bool {
+		b1 := d.LogicBlocks[0]
+		b2 := b1
+		b1.TransistorsPerGate = float64(nRaw%8 + 1)
+		b2.TransistorsPerGate = b1.TransistorsPerGate + 1
+		return p.LogicGateCap(&b2, p.T.WireCapSignal) > p.LogicGateCap(&b1, p.T.WireCapSignal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package trace implements a cycle-accounted DRAM command-trace simulator
+// on top of the power engine: a bank state machine that enforces the JEDEC
+// timing constraints (tRC, tRCD, tRP, tRAS, tRRD, tFAW, tRFC and data-bus
+// occupancy) and integrates the per-command charges of package core over
+// the trace. It is the substrate that makes the paper's operating patterns
+// (Section III.B.4) well defined: the canned IDD loops are exactly the
+// traces this simulator accepts at the maximum legal rate, and arbitrary
+// workloads (streaming, random closed-page, mixed) can be evaluated the
+// same way.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/units"
+)
+
+// Command is one trace entry: an operation issued to a bank at a slot
+// (control-clock cycle).
+type Command struct {
+	Slot int64
+	Op   desc.Op
+	Bank int
+	Row  int
+}
+
+// String renders the command compactly.
+func (c Command) String() string {
+	return fmt.Sprintf("@%d %s b%d r%d", c.Slot, c.Op, c.Bank, c.Row)
+}
+
+// TimingError reports a constraint violation.
+type TimingError struct {
+	Cmd    Command
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *TimingError) Error() string {
+	return fmt.Sprintf("trace: %v: %s", e.Cmd, e.Reason)
+}
+
+// bankState tracks one bank.
+type bankState struct {
+	active     bool
+	row        int
+	actSlot    int64 // slot of the last activate
+	preSlot    int64 // slot of the last precharge
+	everActive bool
+}
+
+// Simulator executes a command trace against a model, enforcing timing and
+// accumulating energy.
+type Simulator struct {
+	m *core.Model
+
+	// Timing constraints in slots.
+	tRC, tRCD, tRP, tRAS, tRRD, tFAW, tRFC int64
+	burstSlots                             int64
+
+	banks    []bankState
+	actTimes []int64 // rolling activation history for tFAW
+	busUntil int64   // first slot the data bus is free again
+	refUntil int64   // refresh completion
+	now      int64
+
+	counts    map[desc.Op]int64
+	cmdEnergy float64 // accumulated command energy (J)
+	bits      int64
+
+	// cached per-op energies
+	opEnergy map[desc.Op]float64
+}
+
+// New creates a simulator for the model.
+func New(m *core.Model) *Simulator {
+	spec := m.D.Spec
+	toSlots := func(d units.Duration) int64 {
+		// Guard against float noise pushing an exact multiple (7.5 ns at
+		// 800 MHz = 6.0 slots) over the next integer.
+		return int64(math.Ceil(float64(d)*float64(spec.ControlClock) - 1e-9))
+	}
+	tRP := toSlots(spec.PrechargeTime)
+	if tRP < 1 {
+		tRP = 1
+	}
+	tRC := toSlots(spec.RowCycle)
+	if tRC < 2 {
+		tRC = 2
+	}
+	tRAS := tRC - tRP
+	if tRAS < 1 {
+		tRAS = 1
+	}
+	s := &Simulator{
+		m:          m,
+		tRC:        tRC,
+		tRCD:       maxI64(1, toSlots(spec.RowToColumnDelay)),
+		tRP:        tRP,
+		tRAS:       tRAS,
+		tRRD:       maxI64(1, toSlots(spec.RowToRowDelay)),
+		tFAW:       toSlots(spec.FourBankWindow),
+		tRFC:       maxI64(1, toSlots(spec.RefreshCycle)),
+		burstSlots: int64(m.BurstSlots()),
+		banks:      make([]bankState, spec.Banks()),
+		counts:     map[desc.Op]int64{},
+		opEnergy:   map[desc.Op]float64{},
+	}
+	for i := range s.banks {
+		s.banks[i].actSlot = math.MinInt64 / 2
+		s.banks[i].preSlot = math.MinInt64 / 2
+	}
+	s.busUntil = math.MinInt64 / 2
+	s.refUntil = math.MinInt64 / 2
+	for _, op := range desc.AllOps {
+		s.opEnergy[op] = float64(m.Charges(op).EnergyFromVdd(m.D.Electrical))
+	}
+	return s
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Now returns the current slot (the latest issue or advance time).
+func (s *Simulator) Now() int64 { return s.now }
+
+// Issue validates and executes one command. Commands must arrive in
+// non-decreasing slot order. On a timing violation the command is rejected
+// with a *TimingError and the simulator state is unchanged.
+func (s *Simulator) Issue(c Command) error {
+	if c.Slot < s.now {
+		return &TimingError{c, fmt.Sprintf("out of order (now at slot %d)", s.now)}
+	}
+	if c.Bank < 0 || c.Bank >= len(s.banks) {
+		return &TimingError{c, fmt.Sprintf("bank %d outside 0..%d", c.Bank, len(s.banks)-1)}
+	}
+	b := &s.banks[c.Bank]
+	switch c.Op {
+	case desc.OpActivate:
+		if b.active {
+			return &TimingError{c, "bank already active"}
+		}
+		if c.Slot < b.actSlot+s.tRC {
+			return &TimingError{c, fmt.Sprintf("tRC: last activate at %d", b.actSlot)}
+		}
+		if c.Slot < b.preSlot+s.tRP {
+			return &TimingError{c, fmt.Sprintf("tRP: precharge at %d not complete", b.preSlot)}
+		}
+		if c.Slot < s.refUntil {
+			return &TimingError{c, "tRFC: refresh in progress"}
+		}
+		for _, t := range s.actTimes {
+			if c.Slot < t+s.tRRD {
+				return &TimingError{c, fmt.Sprintf("tRRD: activate at %d", t)}
+			}
+		}
+		if s.tFAW > 0 && len(s.actTimes) >= 4 {
+			if w := s.actTimes[len(s.actTimes)-4]; c.Slot < w+s.tFAW {
+				return &TimingError{c, fmt.Sprintf("tFAW: fourth activate at %d", w)}
+			}
+		}
+		b.active, b.row, b.actSlot, b.everActive = true, c.Row, c.Slot, true
+		s.actTimes = append(s.actTimes, c.Slot)
+		if len(s.actTimes) > 8 {
+			s.actTimes = s.actTimes[len(s.actTimes)-8:]
+		}
+	case desc.OpRead, desc.OpWrite:
+		if !b.active {
+			return &TimingError{c, "bank not active"}
+		}
+		if b.row != c.Row {
+			return &TimingError{c, fmt.Sprintf("row %d open, access to row %d", b.row, c.Row)}
+		}
+		if c.Slot < b.actSlot+s.tRCD {
+			return &TimingError{c, fmt.Sprintf("tRCD: activate at %d", b.actSlot)}
+		}
+		if c.Slot < s.busUntil {
+			return &TimingError{c, fmt.Sprintf("data bus busy until slot %d", s.busUntil)}
+		}
+		s.busUntil = c.Slot + s.burstSlots
+		s.bits += int64(s.m.BitsPerBurst())
+	case desc.OpPrecharge:
+		if !b.active {
+			return &TimingError{c, "bank not active"}
+		}
+		if c.Slot < b.actSlot+s.tRAS {
+			return &TimingError{c, fmt.Sprintf("tRAS: activate at %d", b.actSlot)}
+		}
+		b.active = false
+		b.preSlot = c.Slot
+	case desc.OpRefresh:
+		for i := range s.banks {
+			if s.banks[i].active {
+				return &TimingError{c, fmt.Sprintf("bank %d active at refresh", i)}
+			}
+		}
+		if c.Slot < s.refUntil {
+			return &TimingError{c, "tRFC: previous refresh in progress"}
+		}
+		s.refUntil = c.Slot + s.tRFC
+	case desc.OpNop:
+		// nothing
+	default:
+		return &TimingError{c, "unknown operation"}
+	}
+	s.now = c.Slot
+	s.counts[c.Op]++
+	s.cmdEnergy += s.opEnergy[c.Op]
+	return nil
+}
+
+// Run issues a whole trace, stopping at the first violation.
+func (s *Simulator) Run(cmds []Command) error {
+	for _, c := range cmds {
+		if err := s.Issue(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result summarizes the energy accounting of a finished trace.
+type Result struct {
+	// Slots is the trace duration in control-clock slots; Duration the
+	// wall-clock time.
+	Slots    int64
+	Duration units.Duration
+	// CommandEnergy is the accumulated per-command energy; Background the
+	// standby energy over the duration; Total their sum.
+	CommandEnergy units.Energy
+	Background    units.Energy
+	Total         units.Energy
+	// AveragePower and AverageCurrent over the duration.
+	AveragePower   units.Power
+	AverageCurrent units.Current
+	// Bits transferred and the resulting energy per bit (0 if no data).
+	Bits         int64
+	EnergyPerBit units.Energy
+	// Counts per operation.
+	Counts map[desc.Op]int64
+	// BusUtilization is the share of slots the data bus carried a burst.
+	BusUtilization float64
+}
+
+// Result closes the trace at the given end slot and reports the totals.
+func (s *Simulator) Result(endSlot int64) Result {
+	if endSlot < s.now {
+		endSlot = s.now
+	}
+	spec := s.m.D.Spec
+	dur := units.Duration(float64(endSlot) / float64(spec.ControlClock))
+	bg := float64(s.m.Background().Power) * float64(dur)
+	total := s.cmdEnergy + bg
+	r := Result{
+		Slots:         endSlot,
+		Duration:      dur,
+		CommandEnergy: units.Energy(s.cmdEnergy),
+		Background:    units.Energy(bg),
+		Total:         units.Energy(total),
+		Bits:          s.bits,
+		Counts:        map[desc.Op]int64{},
+	}
+	for op, n := range s.counts {
+		r.Counts[op] = n
+	}
+	if dur > 0 {
+		r.AveragePower = units.Power(total / float64(dur))
+		if v := s.m.D.Electrical.Vdd; v > 0 {
+			r.AverageCurrent = units.Current(float64(r.AveragePower) / float64(v))
+		}
+	}
+	if s.bits > 0 {
+		r.EnergyPerBit = units.Energy(total / float64(s.bits))
+	}
+	if endSlot > 0 {
+		burstCmds := s.counts[desc.OpRead] + s.counts[desc.OpWrite]
+		r.BusUtilization = float64(burstCmds*s.burstSlots) / float64(endSlot)
+	}
+	return r
+}
+
+// TimingSlots exposes the resolved constraints (in slots) for tests and
+// workload generators.
+func (s *Simulator) TimingSlots() (tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64) {
+	return s.tRC, s.tRCD, s.tRP, s.tRAS, s.tRRD, s.tFAW, s.burstSlots
+}

@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+)
+
+func model(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTimingSlotsResolution(t *testing.T) {
+	m := model(t)
+	s := New(m)
+	tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst := s.TimingSlots()
+	// 800 MHz control clock: tRC 48.75ns -> 39 slots, tRCD/tRP 13.75ns ->
+	// 11, tRAS = 39-11 = 28, tRRD 7.5ns -> 6, tFAW 40ns -> 32, burst 4.
+	for _, c := range []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"tRC", tRC, 39}, {"tRCD", tRCD, 11}, {"tRP", tRP, 11},
+		{"tRAS", tRAS, 28}, {"tRRD", tRRD, 6}, {"tFAW", tFAW, 32},
+		{"burst", burst, 4},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s: got %d slots, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestLegalActReadPrecharge(t *testing.T) {
+	m := model(t)
+	s := New(m)
+	cmds := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 42},
+		{Slot: 11, Op: desc.OpRead, Bank: 0, Row: 42},
+		{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 42},
+		{Slot: 39, Op: desc.OpActivate, Bank: 0, Row: 7},
+	}
+	if err := s.Run(cmds); err != nil {
+		t.Fatalf("legal trace rejected: %v", err)
+	}
+	res := s.Result(50)
+	if res.Counts[desc.OpActivate] != 2 || res.Counts[desc.OpRead] != 1 {
+		t.Errorf("counts: %v", res.Counts)
+	}
+	if res.Bits != int64(m.BitsPerBurst()) {
+		t.Errorf("bits: got %d, want %d", res.Bits, m.BitsPerBurst())
+	}
+}
+
+func expectViolation(t *testing.T, m *core.Model, cmds []Command, substr string) {
+	t.Helper()
+	s := New(m)
+	err := s.Run(cmds)
+	if err == nil {
+		t.Fatalf("expected %q violation, trace accepted", substr)
+	}
+	var te *TimingError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T, want *TimingError", err)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestTimingViolations(t *testing.T) {
+	m := model(t)
+	t.Run("read before tRCD", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 5, Op: desc.OpRead, Bank: 0, Row: 1},
+		}, "tRCD")
+	})
+	t.Run("read on idle bank", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpRead, Bank: 0, Row: 1},
+		}, "not active")
+	})
+	t.Run("read wrong row", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 20, Op: desc.OpRead, Bank: 0, Row: 2},
+		}, "row")
+	})
+	t.Run("double activate", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 20, Op: desc.OpActivate, Bank: 0, Row: 2},
+		}, "already active")
+	})
+	t.Run("precharge before tRAS", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 12, Op: desc.OpPrecharge, Bank: 0, Row: 1},
+		}, "tRAS")
+	})
+	t.Run("activate before tRP", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 30, Op: desc.OpPrecharge, Bank: 0, Row: 1},
+			{Slot: 40, Op: desc.OpActivate, Bank: 0, Row: 2}, // tRC ok, tRP 10 < 11
+		}, "tRP")
+	})
+	t.Run("tRRD across banks", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 2, Op: desc.OpActivate, Bank: 1, Row: 1},
+		}, "tRRD")
+	})
+	t.Run("tFAW fifth activate", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 6, Op: desc.OpActivate, Bank: 1, Row: 1},
+			{Slot: 12, Op: desc.OpActivate, Bank: 2, Row: 1},
+			{Slot: 18, Op: desc.OpActivate, Bank: 3, Row: 1},
+			{Slot: 24, Op: desc.OpActivate, Bank: 4, Row: 1},
+		}, "tFAW")
+	})
+	t.Run("bus conflict", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 6, Op: desc.OpActivate, Bank: 1, Row: 1},
+			{Slot: 17, Op: desc.OpRead, Bank: 0, Row: 1},
+			{Slot: 19, Op: desc.OpRead, Bank: 1, Row: 1}, // bus held until 21
+		}, "bus busy")
+	})
+	t.Run("refresh with open bank", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 20, Op: desc.OpRefresh},
+		}, "active at refresh")
+	})
+	t.Run("out of order", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 10, Op: desc.OpNop},
+			{Slot: 5, Op: desc.OpNop},
+		}, "out of order")
+	})
+	t.Run("bad bank", func(t *testing.T) {
+		expectViolation(t, m, []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 99, Row: 1},
+		}, "bank 99")
+	})
+}
+
+func TestRejectedCommandLeavesStateUnchanged(t *testing.T) {
+	m := model(t)
+	s := New(m)
+	if err := s.Issue(Command{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Illegal read (tRCD) must not consume bus or energy.
+	before := s.Result(100)
+	if err := s.Issue(Command{Slot: 3, Op: desc.OpRead, Bank: 0, Row: 1}); err == nil {
+		t.Fatal("expected violation")
+	}
+	after := s.Result(100)
+	if before.CommandEnergy != after.CommandEnergy || before.Bits != after.Bits {
+		t.Error("rejected command changed accounting")
+	}
+	// The legal read at tRCD still works.
+	if err := s.Issue(Command{Slot: 11, Op: desc.OpRead, Bank: 0, Row: 1}); err != nil {
+		t.Errorf("legal read after rejection failed: %v", err)
+	}
+}
+
+func TestEnergyAccountingMatchesEngine(t *testing.T) {
+	m := model(t)
+	s := New(m)
+	cmds := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+		{Slot: 11, Op: desc.OpRead, Bank: 0, Row: 1},
+		{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 1},
+	}
+	if err := s.Run(cmds); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Result(39)
+	el := m.D.Electrical
+	want := float64(m.Charges(desc.OpActivate).EnergyFromVdd(el)) +
+		float64(m.Charges(desc.OpRead).EnergyFromVdd(el)) +
+		float64(m.Charges(desc.OpPrecharge).EnergyFromVdd(el))
+	if math.Abs(float64(res.CommandEnergy)-want) > 1e-9*want {
+		t.Errorf("command energy: got %v, want %g", res.CommandEnergy, want)
+	}
+	// Background = bg power x duration.
+	dur := 39.0 / float64(m.D.Spec.ControlClock)
+	wantBg := float64(m.Background().Power) * dur
+	if math.Abs(float64(res.Background)-wantBg) > 1e-9*wantBg {
+		t.Errorf("background energy: got %v, want %g", res.Background, wantBg)
+	}
+	if math.Abs(float64(res.Total)-(want+wantBg)) > 1e-9*(want+wantBg) {
+		t.Errorf("total energy mismatch")
+	}
+}
+
+func TestStreamingWorkload(t *testing.T) {
+	m := model(t)
+	cmds := Streaming(m, 200, 0.7, 1)
+	res, err := Evaluate(m, cmds)
+	if err != nil {
+		t.Fatalf("streaming trace illegal: %v", err)
+	}
+	if res.Counts[desc.OpRead]+res.Counts[desc.OpWrite] != 200 {
+		t.Errorf("bursts: got %d", res.Counts[desc.OpRead]+res.Counts[desc.OpWrite])
+	}
+	// Streaming keeps the bus nearly saturated.
+	if res.BusUtilization < 0.85 {
+		t.Errorf("streaming bus utilization %.2f, want near 1", res.BusUtilization)
+	}
+	if res.EnergyPerBit <= 0 {
+		t.Error("no energy per bit")
+	}
+}
+
+func TestRandomClosedPageWorkload(t *testing.T) {
+	m := model(t)
+	cmds := RandomClosedPage(m, 120, 0.5, 7)
+	res, err := Evaluate(m, cmds)
+	if err != nil {
+		t.Fatalf("closed-page trace illegal: %v", err)
+	}
+	if res.Counts[desc.OpActivate] != 120 || res.Counts[desc.OpPrecharge] != 120 {
+		t.Errorf("act/pre counts: %v", res.Counts)
+	}
+	// Random closed-page costs more energy per bit than streaming.
+	st, err := Evaluate(m, Streaming(m, 360, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.EnergyPerBit) <= float64(st.EnergyPerBit) {
+		t.Errorf("closed-page e/bit (%v) should exceed streaming (%v)",
+			res.EnergyPerBit, st.EnergyPerBit)
+	}
+}
+
+func TestRefreshOnlyWorkload(t *testing.T) {
+	m := model(t)
+	cmds := RefreshOnly(m, 8)
+	res, err := Evaluate(m, cmds)
+	if err != nil {
+		t.Fatalf("refresh trace illegal: %v", err)
+	}
+	if res.Counts[desc.OpRefresh] != 8 {
+		t.Errorf("refreshes: got %d", res.Counts[desc.OpRefresh])
+	}
+	if res.Bits != 0 || res.EnergyPerBit != 0 {
+		t.Error("refresh-only trace moved data")
+	}
+	// Standby-with-refresh power is slightly above the pure background.
+	bg := float64(m.Background().Power)
+	if p := float64(res.AveragePower); p <= bg || p > bg*1.3 {
+		t.Errorf("refresh standby power %g vs background %g out of band", p, bg)
+	}
+}
+
+// Property: trace energy is additive — two traces concatenated (with the
+// second shifted beyond all constraints) cost the sum of their command
+// energies.
+func TestPropTraceEnergyAdditive(t *testing.T) {
+	m := model(t)
+	f := func(n1Raw, n2Raw uint8) bool {
+		n1 := int(n1Raw%20) + 1
+		n2 := int(n2Raw%20) + 1
+		c1 := RandomClosedPage(m, n1, 0.5, 3)
+		c2 := RandomClosedPage(m, n2, 0.5, 4)
+		r1, err1 := Evaluate(m, c1)
+		r2, err2 := Evaluate(m, c2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Concatenate with a large shift.
+		shift := r1.Slots + 1000
+		var joined []Command
+		joined = append(joined, c1...)
+		for _, c := range c2 {
+			c.Slot += shift
+			joined = append(joined, c)
+		}
+		rj, err := Evaluate(m, joined)
+		if err != nil {
+			return false
+		}
+		sum := float64(r1.CommandEnergy) + float64(r2.CommandEnergy)
+		return math.Abs(float64(rj.CommandEnergy)-sum) < 1e-9*sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation: the trace simulator's random closed-page workload and
+// the power engine's IDD7 pattern describe the same traffic class, so
+// their average currents must agree within a modest margin.
+func TestClosedPageTraceMatchesIDD7Pattern(t *testing.T) {
+	m := model(t)
+	res, err := Evaluate(m, RandomClosedPage(m, 400, 0.5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := m.EvaluatePattern(m.PatternIDD7(0.5))
+	traceMA := res.AverageCurrent.Milliamps()
+	patMA := pat.Current.Milliamps()
+	// The pattern fills the bus with BurstsPerActivation bursts per
+	// activate while the closed-page trace issues one; scale the pattern's
+	// column share out by comparing against a one-burst pattern bound
+	// instead: the trace must land between the IDD0-style floor and the
+	// IDD7 ceiling.
+	idd := m.IDD()
+	lo := idd.IDD0.Milliamps()
+	hi := patMA * 1.05
+	if traceMA < lo*0.9 || traceMA > hi {
+		t.Errorf("closed-page trace current %.1f mA outside [%.1f, %.1f]",
+			traceMA, lo*0.9, hi)
+	}
+	_ = traceMA
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math/rand"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+)
+
+// Workload generators: each produces a timing-legal command trace for the
+// given model. They correspond to the traffic classes the paper's patterns
+// abstract — streaming row hits (IDD4-like), random closed-page access
+// (IDD7-like) and refresh-only standby.
+
+// Streaming generates an open-page streaming workload: one activate per
+// bank, then gapless bursts cycling through the open rows, with the given
+// read share. It produces roughly `bursts` column commands.
+func Streaming(m *core.Model, bursts int, readShare float64, seed int64) []Command {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(m)
+	banks := m.D.Spec.Banks()
+	_, tRCD, _, _, tRRD, tFAW, burst := s.TimingSlots()
+	var cmds []Command
+
+	// Open one row in every bank, spaced by the stricter of tRRD and
+	// tFAW/4.
+	gap := tRRD
+	if tFAW > 0 && (tFAW+3)/4 > gap {
+		gap = (tFAW + 3) / 4
+	}
+	slot := int64(0)
+	for b := 0; b < banks; b++ {
+		cmds = append(cmds, Command{Slot: slot, Op: desc.OpActivate, Bank: b, Row: 1})
+		slot += gap
+	}
+	// Gapless bursts once the first rows are open.
+	slot += tRCD
+	for i := 0; i < bursts; i++ {
+		op := desc.OpRead
+		if rng.Float64() >= readShare {
+			op = desc.OpWrite
+		}
+		cmds = append(cmds, Command{Slot: slot, Op: op, Bank: i % banks, Row: 1})
+		slot += burst
+	}
+	return cmds
+}
+
+// RandomClosedPage generates a closed-page random-access workload: each
+// access activates a random row in the next bank, bursts once and
+// precharges — the traffic the IDD7 pattern idealizes. It produces
+// `accesses` activate/burst/precharge triples.
+func RandomClosedPage(m *core.Model, accesses int, readShare float64, seed int64) []Command {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(m)
+	banks := m.D.Spec.Banks()
+	tRC, tRCD, _, tRAS, tRRD, tFAW, burst := s.TimingSlots()
+
+	// Activate spacing honoring tRRD, tFAW/4 and same-bank tRC over the
+	// bank rotation.
+	group := tRRD
+	if tFAW > 0 && tFAW/4 > group {
+		group = tFAW / 4
+	}
+	if banks > 0 && (tRC+int64(banks)-1)/int64(banks) > group {
+		group = (tRC + int64(banks) - 1) / int64(banks)
+	}
+	if burst > group {
+		group = burst
+	}
+
+	rows := 1 << uint(m.D.Spec.RowAddrBits)
+	var cmds []Command
+	for i := 0; i < accesses; i++ {
+		base := int64(i) * group
+		bank := i % banks
+		row := rng.Intn(rows)
+		op := desc.OpRead
+		if rng.Float64() >= readShare {
+			op = desc.OpWrite
+		}
+		colSlot := base + tRCD
+		preSlot := base + tRAS
+		if preSlot <= colSlot {
+			preSlot = colSlot + 1
+		}
+		cmds = append(cmds, Command{Slot: base, Op: desc.OpActivate, Bank: bank, Row: row})
+		cmds = append(cmds, Command{Slot: colSlot, Op: op, Bank: bank, Row: row})
+		cmds = append(cmds, Command{Slot: preSlot, Op: desc.OpPrecharge, Bank: bank, Row: row})
+	}
+	return sortCommands(cmds)
+}
+
+// RefreshOnly generates the standby-with-refresh trace over the given
+// number of refresh intervals.
+func RefreshOnly(m *core.Model, intervals int) []Command {
+	spec := m.D.Spec
+	perInterval := int64(float64(spec.RefreshInterval) * float64(spec.ControlClock))
+	if perInterval < 1 {
+		perInterval = 1
+	}
+	var cmds []Command
+	for i := 0; i < intervals; i++ {
+		cmds = append(cmds, Command{Slot: int64(i) * perInterval, Op: desc.OpRefresh})
+	}
+	return cmds
+}
+
+// sortCommands orders a trace by slot (stable for equal slots).
+func sortCommands(cmds []Command) []Command {
+	// Insertion sort: traces are generated nearly sorted.
+	for i := 1; i < len(cmds); i++ {
+		for j := i; j > 0 && cmds[j].Slot < cmds[j-1].Slot; j-- {
+			cmds[j], cmds[j-1] = cmds[j-1], cmds[j]
+		}
+	}
+	return cmds
+}
+
+// Evaluate runs a generated trace and returns its result, ending the
+// accounting one group after the last command.
+func Evaluate(m *core.Model, cmds []Command) (Result, error) {
+	s := New(m)
+	if err := s.Run(cmds); err != nil {
+		return Result{}, err
+	}
+	end := s.Now() + int64(m.BurstSlots())
+	return s.Result(end), nil
+}
