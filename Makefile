@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The full gate: everything CI (and a reviewer) expects to be green.
+check: build vet race

@@ -292,6 +292,72 @@ func BenchmarkTraceSimulation(b *testing.B) {
 	b.ReportMetric(float64(len(cmds)), "commands")
 }
 
+// BenchmarkSweepSerial measures the full sensitivity sweep evaluated
+// serially (Workers=1), the pre-engine behavior.
+func BenchmarkSweepSerial(b *testing.B) {
+	d := Sample1GbDDR3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the same sweep on the batch engine with
+// one worker per CPU. The results are identical to the serial sweep; on a
+// multi-core machine the wall time shrinks with the core count.
+func BenchmarkSweepParallel(b *testing.B) {
+	d := Sample1GbDDR3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepParallel(d, BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceCached measures the trace simulator on the charge ledgers
+// cached at Build time: per-command energy integration is an O(1) lookup.
+func BenchmarkTraceCached(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1000, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Evaluate(m, cmds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cmds)), "commands")
+}
+
+// BenchmarkTraceEnergyRecompute measures the pre-ledger cost of the same
+// trace's energy integration: every command's charge-event list is derived
+// from scratch (RecomputeCharges). Comparing against BenchmarkTraceCached
+// shows the speedup the Build-time ledger buys.
+func BenchmarkTraceEnergyRecompute(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1000, 0.5, 1)
+	el := m.D.Electrical
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e float64
+		for _, c := range cmds {
+			e += float64(m.RecomputeCharges(c.Op).EnergyFromVdd(el))
+		}
+		if e <= 0 {
+			b.Fatal("no energy accumulated")
+		}
+	}
+	b.ReportMetric(float64(len(cmds)), "commands")
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

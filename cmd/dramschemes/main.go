@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 	"drampower/internal/schemes"
 )
@@ -27,6 +28,9 @@ func main() {
 	node := flag.Float64("node", 0, "baseline roadmap node (feature size in nm)")
 	file := flag.String("f", "", "baseline description file")
 	notes := flag.Bool("notes", false, "print the feasibility notes")
+	var batch engine.Options
+	flag.IntVar(&batch.Workers, "workers", 0,
+		"worker pool size for the scheme evaluations (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	var d *desc.Description
@@ -47,7 +51,7 @@ func main() {
 		d = desc.Sample1GbDDR3()
 	}
 
-	res, err := schemes.Evaluate(d)
+	res, err := schemes.EvaluateOpts(d, batch)
 	if err != nil {
 		fatal(err)
 	}

@@ -18,16 +18,22 @@ import (
 	"strings"
 
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 	"drampower/internal/sensitivity"
 )
 
 var paperNodes = []float64{170, 55, 18}
 
+// batch carries the -workers flag to every sweep.
+var batch engine.Options
+
 func main() {
 	top10 := flag.Bool("top10", false, "print Table III (top-10 ranking per device)")
 	node := flag.Float64("node", 0, "sweep a single roadmap node (feature size in nm)")
 	file := flag.String("f", "", "sweep a description file instead of roadmap devices")
+	flag.IntVar(&batch.Workers, "workers", 0,
+		"worker pool size for the sweep (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	switch {
@@ -57,7 +63,7 @@ func main() {
 }
 
 func sweepOne(name string, d *desc.Description, top10 bool) {
-	res, err := sensitivity.Sweep(d)
+	res, err := sensitivity.SweepOpts(d, batch)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,7 +92,7 @@ func tableIII() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := sensitivity.Sweep(n.Description())
+		res, err := sensitivity.SweepOpts(n.Description(), batch)
 		if err != nil {
 			fatal(err)
 		}

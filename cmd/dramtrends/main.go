@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"drampower/internal/core"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 )
+
+// batch carries the -workers flag to the node builds of Figure 13.
+var batch engine.Options
 
 func main() {
 	fig5 := flag.Bool("fig5", false, "Figure 5: technology parameter scaling")
@@ -29,6 +31,8 @@ func main() {
 	fig12 := flag.Bool("fig12", false, "Figure 12: data rate and row timing trends")
 	fig13 := flag.Bool("fig13", false, "Figure 13: energy per bit and die area trends")
 	tab2 := flag.Bool("tableII", false, "Table II: disruptive technology changes")
+	flag.IntVar(&batch.Workers, "workers", 0,
+		"worker pool size for the node builds (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	all := !(*fig5 || *fig6 || *fig7 || *fig11 || *fig12 || *fig13 || *tab2)
@@ -126,26 +130,21 @@ func energyTrends() {
 	fmt.Println("Figure 13: energy consumption and die area trends")
 	fmt.Printf("  %-18s %6s %10s %12s %10s\n",
 		"device", "year", "die [mm²]", "e/bit [pJ]", "gen ratio")
-	energies := map[float64]float64{}
-	prev := 0.0
-	for _, n := range scaling.Roadmap() {
-		m, err := core.Build(n.Description())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dramtrends:", err)
-			os.Exit(1)
-		}
-		e := m.EnergyPerBitIDD7().Picojoules()
-		energies[n.FeatureNm] = e
+	pts, err := scaling.EnergyTrend(batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramtrends:", err)
+		os.Exit(1)
+	}
+	for _, p := range pts {
 		ratio := "-"
-		if prev > 0 {
-			ratio = fmt.Sprintf("x%.2f", prev/e)
+		if p.GenRatio > 0 {
+			ratio = fmt.Sprintf("x%.2f", p.GenRatio)
 		}
 		fmt.Printf("  %-18s %6.1f %10.1f %12.1f %10s\n",
-			n.Name(), n.Year, float64(m.DieArea())/1e-6, e, ratio)
-		prev = e
+			p.Node.Name(), p.Node.Year, p.DieAreaMM2, p.EnergyPerBitPJ, ratio)
 	}
-	hist := math.Pow(energies[170]/energies[44], 1.0/7)
-	fore := math.Pow(energies[44]/energies[16], 1.0/6)
+	hist := scaling.ReductionPerGeneration(pts, 170, 44)
+	fore := scaling.ReductionPerGeneration(pts, 44, 16)
 	fmt.Printf("  -> historic reduction (170nm..44nm, 2000-2010): x%.2f per generation (paper: ~1.5)\n", hist)
 	fmt.Printf("  -> forecast reduction (44nm..16nm, 2010-2018):  x%.2f per generation (paper: ~1.2)\n", fore)
 	fmt.Println()

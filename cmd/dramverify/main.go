@@ -19,12 +19,18 @@ import (
 	"sort"
 
 	"drampower/internal/datasheet"
+	"drampower/internal/engine"
 )
+
+// batch carries the -workers flag to the comparison model builds.
+var batch engine.Options
 
 func main() {
 	ddr2 := flag.Bool("ddr2", false, "show only the DDR2 comparison (Figure 8)")
 	ddr3 := flag.Bool("ddr3", false, "show only the DDR3 comparison (Figure 9)")
 	vendors := flag.Bool("vendors", false, "print per-vendor datasheet columns")
+	flag.IntVar(&batch.Workers, "workers", 0,
+		"worker pool size for the model builds (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	both := !*ddr2 && !*ddr3
@@ -37,7 +43,7 @@ func main() {
 }
 
 func run(std datasheet.Standard, title string, vendors bool) {
-	rows, err := datasheet.Compare(std)
+	rows, err := datasheet.CompareOpts(std, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramverify:", err)
 		os.Exit(1)

@@ -34,6 +34,7 @@ import (
 	"drampower/internal/core"
 	"drampower/internal/datasheet"
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 	"drampower/internal/schemes"
 	"drampower/internal/sensitivity"
@@ -87,6 +88,15 @@ type (
 	Amperes = units.Current
 	Joules  = units.Energy
 )
+
+// ParseError reports a parse failure at a specific input position (Line
+// 1-based; Col the 1-based byte column of the offending token, 0 for
+// whole-line problems). All parse entry points surface it, possibly
+// wrapped, so recover it with errors.As:
+//
+//	var pe *drampower.ParseError
+//	if errors.As(err, &pe) { editor.Jump(pe.Line, pe.Col) }
+type ParseError = desc.ParseError
 
 // Parse reads a DRAM description in the paper's input language.
 func Parse(r io.Reader) (*Description, error) { return desc.Parse(r) }
@@ -170,6 +180,57 @@ func CompareDatasheetDDR2() ([]DatasheetComparison, error) {
 // CompareDatasheetDDR3 regenerates the Figure 9 verification (1 Gb DDR3).
 func CompareDatasheetDDR3() ([]DatasheetComparison, error) {
 	return datasheet.Compare(datasheet.DDR3)
+}
+
+// BatchOptions configures the shared batch-evaluation engine behind the
+// *Parallel entry points: Workers is the worker-pool size (<= 0 means one
+// worker per CPU, 1 reproduces the serial evaluation exactly). Results are
+// deterministic — ordered by job, independent of the worker count.
+type BatchOptions = engine.Options
+
+// SweepParallel is Sweep on a worker pool. The results are byte-identical
+// to Sweep's for any worker count.
+func SweepParallel(d *Description, opts BatchOptions) ([]SensitivityResult, error) {
+	return sensitivity.SweepOpts(d, opts)
+}
+
+// EvaluateSchemesParallel is EvaluateSchemes on a worker pool.
+func EvaluateSchemesParallel(base *Description, opts BatchOptions) ([]SchemeResult, error) {
+	return schemes.EvaluateOpts(base, opts)
+}
+
+// CompareDatasheetDDR2Parallel is CompareDatasheetDDR2 on a worker pool.
+func CompareDatasheetDDR2Parallel(opts BatchOptions) ([]DatasheetComparison, error) {
+	return datasheet.CompareOpts(datasheet.DDR2, opts)
+}
+
+// CompareDatasheetDDR3Parallel is CompareDatasheetDDR3 on a worker pool.
+func CompareDatasheetDDR3Parallel(opts BatchOptions) ([]DatasheetComparison, error) {
+	return datasheet.CompareOpts(datasheet.DDR3, opts)
+}
+
+// TrendPoint is one generation of the Figure 13 energy/area trend.
+type TrendPoint = scaling.TrendPoint
+
+// GenerationTrend builds every roadmap node (concurrently per opts) and
+// reports the Figure 13 energy-per-bit and die-area series with
+// per-generation reduction ratios.
+func GenerationTrend(opts BatchOptions) ([]TrendPoint, error) {
+	return scaling.EnergyTrend(opts)
+}
+
+// EvalBatch builds and evaluates many descriptions on a worker pool and
+// returns each description's pattern evaluation in input order. On failure
+// it returns the first error (by input position) together with the partial
+// results: entries whose build failed are nil, the rest are valid.
+func EvalBatch(ds []*Description, opts BatchOptions) ([]*PatternResult, error) {
+	return engine.Map(ds, func(_ int, d *Description) (*PatternResult, error) {
+		m, err := core.Build(d)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate(), nil
+	}, opts)
 }
 
 // Re-exported trace types: the timing-validated command-trace simulator.

@@ -39,7 +39,22 @@ type Model struct {
 
 	// Segments are the resolved signaling floorplan wires.
 	Segments []ResolvedSegment
+
+	// ledger holds the immutable per-op charge lists precomputed by
+	// Build, indexed by desc.Op. Charges serves O(1) reads from it; the
+	// slices inside are shared and must never be mutated (RecomputeCharges
+	// is the escape hatch for post-Build description changes).
+	ledger [numOps]*OpCharges
+	// opEnergy caches each operation's Vdd-referred energy per occurrence
+	// so the trace simulator's per-command integration is a plain lookup.
+	opEnergy [numOps]units.Energy
+	// background caches the continuous-power ledger (see Background).
+	background *Background
 }
+
+// numOps sizes the per-op ledgers; desc.AllOps enumerates exactly the ops
+// in [0, numOps).
+const numOps = int(desc.OpRefresh) + 1
 
 // ResolvedSegment is a signaling floorplan segment with its routed length,
 // per-wire capacitance and derived wire count.
@@ -83,7 +98,33 @@ func Build(d *desc.Description) (*Model, error) {
 	if err := m.resolveSegments(); err != nil {
 		return nil, err
 	}
+	m.buildLedger()
 	return m, nil
+}
+
+// buildLedger precomputes the per-op charge ledgers, per-op energies and
+// the background ledger (steps 3–5 of Figure 4, run once per Build). After
+// this, Charges, OpEnergy, Background, EvaluatePattern and the trace
+// simulator read cached immutable state instead of re-deriving the
+// charge-event lists on every call.
+func (m *Model) buildLedger() {
+	for _, op := range desc.AllOps {
+		oc := m.computeCharges(op)
+		m.ledger[op] = oc
+		m.opEnergy[op] = oc.EnergyFromVdd(m.D.Electrical)
+	}
+	bg := m.RecomputeBackground()
+	m.background = &bg
+}
+
+// OpEnergy returns the cached Vdd-referred energy one occurrence of op
+// draws, at the electrical state the model was built with. This is the
+// O(1) lookup the trace simulator integrates per command.
+func (m *Model) OpEnergy(op desc.Op) units.Energy {
+	if int(op) >= 0 && int(op) < len(m.opEnergy) {
+		return m.opEnergy[op]
+	}
+	return m.computeCharges(op).EnergyFromVdd(m.D.Electrical)
 }
 
 // resolveSegments computes lengths, capacitances, wire counts and toggle

@@ -25,10 +25,7 @@ type OpCharges struct {
 func (oc *OpCharges) EnergyFromVdd(el desc.Electrical) units.Energy {
 	var e float64
 	for _, it := range oc.Items {
-		v, eff := el.DomainVoltageAndEff(it.Domain)
-		if eff <= 0 {
-			eff = 1
-		}
+		v, eff := el.DomainVoltageAndSafeEff(it.Domain)
 		e += float64(it.Charge(v)) * float64(el.Vdd) / eff
 	}
 	return units.Energy(e)
@@ -48,10 +45,7 @@ func (oc *OpCharges) ChargeFromVdd(el desc.Electrical) units.Charge {
 func (oc *OpCharges) EnergyByGroup(el desc.Electrical) map[circuits.Group]units.Energy {
 	out := map[circuits.Group]units.Energy{}
 	for _, it := range oc.Items {
-		v, eff := el.DomainVoltageAndEff(it.Domain)
-		if eff <= 0 {
-			eff = 1
-		}
+		v, eff := el.DomainVoltageAndSafeEff(it.Domain)
 		out[it.Group] += units.Energy(float64(it.Charge(v)) * float64(el.Vdd) / eff)
 	}
 	return out
@@ -62,22 +56,42 @@ func (oc *OpCharges) EnergyByGroup(el desc.Electrical) map[circuits.Group]units.
 func (oc *OpCharges) EnergyByDomain(el desc.Electrical) map[desc.Domain]units.Energy {
 	out := map[desc.Domain]units.Energy{}
 	for _, it := range oc.Items {
-		v, eff := el.DomainVoltageAndEff(it.Domain)
-		if eff <= 0 {
-			eff = 1
-		}
+		v, eff := el.DomainVoltageAndSafeEff(it.Domain)
 		out[it.Domain] += units.Energy(float64(it.Charge(v)) * float64(el.Vdd) / eff)
 	}
 	return out
 }
 
-// Charges computes the charge items of one occurrence of op. The items
-// cover the array and row/column circuitry (package circuits), the
-// signaling floorplan segments that fire for the operation, and the
-// miscellaneous logic blocks active during it. Background contributions
-// (clock, control bus, always-on logic, constant current) are *not*
-// included — see Background.
+// Charges returns the charge items of one occurrence of op from the
+// model's cached ledger. The items cover the array and row/column
+// circuitry (package circuits), the signaling floorplan segments that
+// fire for the operation, and the miscellaneous logic blocks active
+// during it. Background contributions (clock, control bus, always-on
+// logic, constant current) are *not* included — see Background.
+//
+// The ledger is computed once by Build and shared: the returned OpCharges
+// is immutable and must not be modified. Callers that mutate the
+// description after Build must use RecomputeCharges instead (or rebuild).
 func (m *Model) Charges(op desc.Op) *OpCharges {
+	if int(op) >= 0 && int(op) < len(m.ledger) {
+		if oc := m.ledger[op]; oc != nil {
+			return oc
+		}
+	}
+	return m.computeCharges(op)
+}
+
+// RecomputeCharges rebuilds the charge items of op from the current
+// description state, bypassing the ledger cached at Build time. It is the
+// escape hatch for callers that mutated the description in place; the
+// cached ledger is left untouched.
+func (m *Model) RecomputeCharges(op desc.Op) *OpCharges {
+	return m.computeCharges(op)
+}
+
+// computeCharges derives the charge-event list of one occurrence of op
+// from scratch (steps 2–3 of the Figure 4 program flow).
+func (m *Model) computeCharges(op desc.Op) *OpCharges {
 	oc := &OpCharges{Op: op}
 	d := m.D
 	bits := m.BitsPerBurst()
@@ -209,8 +223,20 @@ type BackgroundItem struct {
 	Power units.Power
 }
 
-// Background computes the background power of the model.
+// Background returns the background power of the model from the ledger
+// cached at Build time. The returned struct is shared and must not be
+// modified; callers that mutate the description in place must use
+// RecomputeBackground.
 func (m *Model) Background() Background {
+	if m.background != nil {
+		return *m.background
+	}
+	return m.RecomputeBackground()
+}
+
+// RecomputeBackground rebuilds the background ledger from the current
+// description state, bypassing the Build-time cache.
+func (m *Model) RecomputeBackground() Background {
 	var bg Background
 	el := m.D.Electrical
 	add := func(name string, group circuits.Group, p units.Power) {
@@ -228,7 +254,7 @@ func (m *Model) Background() Background {
 		default:
 			continue
 		}
-		v, eff := el.DomainVoltageAndEff(desc.DomainVint)
+		v, eff := el.DomainVoltageAndSafeEff(desc.DomainVint)
 		e := float64(rs.TotalCapPerWire()) * float64(v) * float64(el.Vdd) *
 			rs.Toggle * float64(rs.Wires) / eff
 		group := circuits.GroupClock
@@ -244,7 +270,7 @@ func (m *Model) Background() Background {
 			continue
 		}
 		cap := m.P.LogicGateCap(b, m.D.Technology.WireCapSignal)
-		v, eff := el.DomainVoltageAndEff(desc.DomainVint)
+		v, eff := el.DomainVoltageAndSafeEff(desc.DomainVint)
 		e := float64(cap) * float64(v) * float64(el.Vdd) * b.Toggle * float64(b.Gates) / eff
 		add("logic "+b.Name, circuits.GroupLogic, units.Energy(e).PowerAt(m.D.Spec.ControlClock))
 	}
@@ -314,8 +340,12 @@ func (m *Model) EvaluatePattern(p desc.Pattern) *PatternResult {
 		}
 	}
 
+	// Iterate in canonical op order, not map order: float accumulation must
+	// be deterministic so repeated (and parallel) evaluations are
+	// bit-identical.
 	mix := p.Mix()
-	for op, share := range mix {
+	for _, op := range desc.AllOps {
+		share := mix[op]
 		if op == desc.OpNop || share == 0 {
 			continue
 		}

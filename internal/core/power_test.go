@@ -429,3 +429,60 @@ func TestPropPatternRotationInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEnergyFromVddZeroEfficiency(t *testing.T) {
+	// A zero generator efficiency must act as a pass-through (eff = 1)
+	// in every Vdd-referred roll-up, not divide by zero.
+	m := build(t)
+	el := m.D.Electrical
+	el.EffInt, el.EffBl, el.EffPp = 0, 0, 0
+	ref := el
+	ref.EffInt, ref.EffBl, ref.EffPp = 1, 1, 1
+
+	for _, op := range desc.AllOps {
+		oc := m.Charges(op)
+		got := float64(oc.EnergyFromVdd(el))
+		want := float64(oc.EnergyFromVdd(ref))
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%v: zero-eff energy is %g", op, got)
+		}
+		if math.Abs(got-want) > 1e-18 {
+			t.Errorf("%v: zero-eff energy %g, want pass-through %g", op, got, want)
+		}
+		for g, e := range oc.EnergyByGroup(el) {
+			if math.IsNaN(float64(e)) || math.IsInf(float64(e), 0) {
+				t.Errorf("%v group %v: energy %v", op, g, e)
+			}
+		}
+		for d, e := range oc.EnergyByDomain(el) {
+			if math.IsNaN(float64(e)) || math.IsInf(float64(e), 0) {
+				t.Errorf("%v domain %v: energy %v", op, d, e)
+			}
+		}
+	}
+}
+
+func TestChargesLedgerCachedAndRecompute(t *testing.T) {
+	m := build(t)
+	for _, op := range desc.AllOps {
+		cached := m.Charges(op)
+		if again := m.Charges(op); again != cached {
+			t.Errorf("%v: Charges not served from the cached ledger", op)
+		}
+		re := m.RecomputeCharges(op)
+		if re == cached {
+			t.Errorf("%v: RecomputeCharges returned the cached ledger", op)
+		}
+		if len(re.Items) != len(cached.Items) {
+			t.Fatalf("%v: recompute has %d items, ledger %d", op, len(re.Items), len(cached.Items))
+		}
+		for i := range re.Items {
+			if re.Items[i] != cached.Items[i] {
+				t.Errorf("%v item %d: ledger %+v != recompute %+v", op, i, cached.Items[i], re.Items[i])
+			}
+		}
+		if e := m.OpEnergy(op); e != cached.EnergyFromVdd(m.D.Electrical) {
+			t.Errorf("%v: OpEnergy cache mismatch", op)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"drampower/internal/core"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 	"drampower/internal/units"
 )
@@ -169,6 +170,14 @@ func (s Standard) String() string {
 // comparison assumed technology nodes which were typically used for high
 // volume parts in the time frame the DRAMs ... were on the market".
 func Compare(std Standard) ([]Comparison, error) {
+	return CompareOpts(std, engine.Options{Workers: 1})
+}
+
+// CompareOpts is Compare with batch-evaluation options: the distinct
+// (node, width, rate) models build concurrently, then the comparison rows
+// assemble serially from the cache. Any worker count produces the same
+// rows in the same order.
+func CompareOpts(std Standard, opts engine.Options) ([]Comparison, error) {
 	var points []Point
 	var nodesNm []float64
 	var iface scaling.Interface
@@ -189,26 +198,43 @@ func Compare(std Standard) ([]Comparison, error) {
 		width int
 		rate  int
 	}
-	models := map[key]*core.Model{}
+	var keys []key
+	seen := map[key]bool{}
+	for _, p := range points {
+		for _, nm := range nodesNm {
+			k := key{nm, p.IOWidth, p.DataRateMbps}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	built, err := engine.Map(keys, func(_ int, k key) (*core.Model, error) {
+		dv, err := scaling.DeviceFor(k.nm, iface, 1<<30, k.width,
+			units.DataRate(float64(k.rate)*1e6))
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.Build(dv.Build())
+		if err != nil {
+			return nil, fmt.Errorf("datasheet: %s x%d @%dMbps %gnm: %w",
+				std, k.width, k.rate, k.nm, err)
+		}
+		return m, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	models := make(map[key]*core.Model, len(keys))
+	for i, k := range keys {
+		models[k] = built[i]
+	}
+
 	var out []Comparison
 	for _, p := range points {
 		c := Comparison{Point: p, ModelMA: map[string]float64{}}
 		for _, nm := range nodesNm {
-			k := key{nm, p.IOWidth, p.DataRateMbps}
-			m, ok := models[k]
-			if !ok {
-				dv, err := scaling.DeviceFor(nm, iface, 1<<30, p.IOWidth,
-					units.DataRate(float64(p.DataRateMbps)*1e6))
-				if err != nil {
-					return nil, err
-				}
-				m, err = core.Build(dv.Build())
-				if err != nil {
-					return nil, fmt.Errorf("datasheet: %s x%d @%dMbps %gnm: %w",
-						std, p.IOWidth, p.DataRateMbps, nm, err)
-				}
-				models[k] = m
-			}
+			m := models[key{nm, p.IOWidth, p.DataRateMbps}]
 			idd := m.IDD()
 			var val units.Current
 			switch p.Metric {

@@ -464,6 +464,20 @@ func (e Electrical) DomainVoltageAndEff(d Domain) (units.Voltage, float64) {
 	return 0, 1
 }
 
+// DomainVoltageAndSafeEff returns the voltage and generator efficiency of
+// the named domain with the efficiency clamped to a usable value: a zero
+// or negative efficiency (an unparameterized generator) falls back to 1,
+// i.e. the domain charge passes through to the external supply
+// unamplified. This is the single place the power engine's "eff <= 0"
+// fallback lives; every Vdd-referred energy roll-up uses it.
+func (e Electrical) DomainVoltageAndSafeEff(d Domain) (units.Voltage, float64) {
+	v, eff := e.DomainVoltageAndEff(d)
+	if eff <= 0 {
+		eff = 1
+	}
+	return v, eff
+}
+
 // Domain identifies one of the four supply domains of the model.
 type Domain int
 

@@ -1,0 +1,40 @@
+package desc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDomainVoltageAndSafeEffClampsZero(t *testing.T) {
+	// An unparameterized generator (eff == 0) must fall back to a
+	// pass-through efficiency of 1 instead of dividing energy by zero.
+	el := Electrical{Vdd: 1.5, Vint: 1.2, Vbl: 0.6, Vpp: 2.9,
+		EffInt: 0, EffBl: -0.3, EffPp: 0.5}
+
+	v, eff := el.DomainVoltageAndSafeEff(DomainVint)
+	if math.Abs(float64(v)-1.2) > 1e-12 || eff != 1 {
+		t.Errorf("Vint zero eff: got v=%v eff=%g, want 1.2, 1", v, eff)
+	}
+	v, eff = el.DomainVoltageAndSafeEff(DomainVbl)
+	if math.Abs(float64(v)-0.6) > 1e-12 || eff != 1 {
+		t.Errorf("Vbl negative eff: got v=%v eff=%g, want 0.6, 1", v, eff)
+	}
+	// A real efficiency passes through unchanged.
+	v, eff = el.DomainVoltageAndSafeEff(DomainVpp)
+	if math.Abs(float64(v)-2.9) > 1e-12 || math.Abs(eff-0.5) > 1e-12 {
+		t.Errorf("Vpp: got v=%v eff=%g, want 2.9, 0.5", v, eff)
+	}
+	// Vdd is always a direct connection.
+	if _, eff := el.DomainVoltageAndSafeEff(DomainVdd); eff != 1 {
+		t.Errorf("Vdd eff: got %g, want 1", eff)
+	}
+
+	// Safe and unsafe variants agree on voltage for every domain.
+	for _, d := range AllDomains {
+		v1, _ := el.DomainVoltageAndEff(d)
+		v2, _ := el.DomainVoltageAndSafeEff(d)
+		if v1 != v2 {
+			t.Errorf("domain %v: voltage differs (%v vs %v)", d, v1, v2)
+		}
+	}
+}

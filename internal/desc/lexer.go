@@ -14,9 +14,12 @@ type line struct {
 }
 
 // field is one whitespace-separated token of a line, either a bare word
-// (key == "") or a key=value attribute.
+// (key == "") or a key=value attribute. col is the 1-based column of the
+// field's first byte in the raw input line, so parse errors can point at
+// the offending token.
 type field struct {
 	key, value string
+	col        int
 }
 
 // bare reports whether the field is a bare word.
@@ -30,11 +33,38 @@ func (f field) text() string {
 	return f.key + "=" + f.value
 }
 
+// token is a raw whitespace-separated token with its 1-based column.
+type token struct {
+	text string
+	col  int
+}
+
+// splitTokens splits a line into tokens, recording each token's column.
+func splitTokens(text string) []token {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		for i < len(text) && (text[i] == ' ' || text[i] == '\t' || text[i] == '\r') {
+			i++
+		}
+		start := i
+		for i < len(text) && text[i] != ' ' && text[i] != '\t' && text[i] != '\r' {
+			i++
+		}
+		if i > start {
+			toks = append(toks, token{text: text[start:i], col: start + 1})
+		}
+	}
+	return toks
+}
+
 // lex splits the input into logical lines of fields. Comments start with
 // '#' or '//' and run to end of line; blank lines are dropped. Tokens of
 // the form "a = b", "a= b" and "a =b" are normalized to the attribute a=b,
 // matching the free-form spacing the paper's excerpts use
-// ("Vertical blocks = A1 P1 P2 P1 A1", "Pattern loop= act nop ...").
+// ("Vertical blocks = A1 P1 P2 P1 A1", "Pattern loop= act nop ..."). Every
+// field keeps the column of its first byte; lexing problems surface as
+// positioned *ParseError values.
 func lex(r io.Reader) ([]line, error) {
 	var lines []line
 	sc := bufio.NewScanner(r)
@@ -49,20 +79,21 @@ func lex(r io.Reader) ([]line, error) {
 		if i := strings.Index(text, "//"); i >= 0 {
 			text = text[:i]
 		}
-		toks := strings.Fields(text)
+		toks := splitTokens(text)
 		if len(toks) == 0 {
 			continue
 		}
 		toks, err := normalizeEquals(toks)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", num, err)
+			err.Line = num
+			return nil, err
 		}
 		ln := line{num: num}
 		for _, t := range toks {
-			if k, v, ok := strings.Cut(t, "="); ok {
-				ln.fields = append(ln.fields, field{key: k, value: v})
+			if k, v, ok := strings.Cut(t.text, "="); ok {
+				ln.fields = append(ln.fields, field{key: k, value: v, col: t.col})
 			} else {
-				ln.fields = append(ln.fields, field{value: t})
+				ln.fields = append(ln.fields, field{value: t.text, col: t.col})
 			}
 		}
 		lines = append(lines, ln)
@@ -74,32 +105,35 @@ func lex(r io.Reader) ([]line, error) {
 }
 
 // normalizeEquals joins "a = b" and "a=" "b" and "a" "=b" token triples /
-// pairs into single "a=b" tokens. A trailing "key=" with nothing after it
-// on the line is left as-is (empty value).
-func normalizeEquals(toks []string) ([]string, error) {
-	var out []string
+// pairs into single "a=b" tokens, keeping the column of the leftmost piece.
+// A trailing "key=" with nothing after it on the line is left as-is (empty
+// value). Errors are positioned at the offending '=' (the line is filled in
+// by lex).
+func normalizeEquals(toks []token) ([]token, *ParseError) {
+	var out []token
 	for i := 0; i < len(toks); i++ {
 		t := toks[i]
 		switch {
-		case t == "=":
+		case t.text == "=":
 			if len(out) == 0 {
-				return nil, fmt.Errorf("dangling '='")
+				return nil, &ParseError{Col: t.col, Msg: "dangling '='"}
 			}
 			prev := out[len(out)-1]
-			if strings.Contains(prev, "=") {
-				return nil, fmt.Errorf("unexpected '=' after %q", prev)
+			if strings.Contains(prev.text, "=") {
+				return nil, &ParseError{Col: t.col,
+					Msg: fmt.Sprintf("unexpected '=' after %q", prev.text)}
 			}
 			if i+1 < len(toks) {
-				out[len(out)-1] = prev + "=" + toks[i+1]
+				out[len(out)-1].text = prev.text + "=" + toks[i+1].text
 				i++
 			} else {
-				out[len(out)-1] = prev + "="
+				out[len(out)-1].text = prev.text + "="
 			}
-		case strings.HasSuffix(t, "=") && i+1 < len(toks) && !strings.Contains(toks[i+1], "="):
-			out = append(out, t+toks[i+1])
+		case strings.HasSuffix(t.text, "=") && i+1 < len(toks) && !strings.Contains(toks[i+1].text, "="):
+			out = append(out, token{text: t.text + toks[i+1].text, col: t.col})
 			i++
-		case strings.HasPrefix(t, "=") && len(out) > 0 && !strings.Contains(out[len(out)-1], "="):
-			out[len(out)-1] += t
+		case strings.HasPrefix(t.text, "=") && len(out) > 0 && !strings.Contains(out[len(out)-1].text, "="):
+			out[len(out)-1].text += t.text
 		default:
 			out = append(out, t)
 		}

@@ -4,25 +4,48 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"drampower/internal/units"
 )
 
-// ParseError reports a syntax or semantic problem at a specific input line.
+// ParseError reports a syntax or semantic problem at a specific input
+// position. Line is 1-based; Col is the 1-based column of the offending
+// token, or 0 when the problem concerns the whole line. Parse, ParseString
+// and ParseFile surface it (possibly wrapped with the file path), so
+// callers recover the position with errors.As:
+//
+//	var pe *desc.ParseError
+//	if errors.As(err, &pe) { editor.Jump(pe.Line, pe.Col) }
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 // Error implements the error interface.
 func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("desc: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("desc: line %d: %s", e.Line, e.Msg)
 }
 
+// errMsg formats a ParseError message, dropping a leading "desc: " from
+// embedded errors so Error() doesn't render the package prefix twice.
+func errMsg(format string, args ...any) string {
+	return strings.TrimPrefix(fmt.Sprintf(format, args...), "desc: ")
+}
+
 func errAt(n int, format string, args ...any) error {
-	return &ParseError{Line: n, Msg: fmt.Sprintf(format, args...)}
+	return &ParseError{Line: n, Msg: errMsg(format, args...)}
+}
+
+// errAtField positions the error at a specific token of the line.
+func errAtField(n int, f field, format string, args ...any) error {
+	return &ParseError{Line: n, Col: f.col, Msg: errMsg(format, args...)}
 }
 
 // ParseFile reads and parses a description file.
@@ -80,18 +103,18 @@ func (p *parser) line(ln line) error {
 		case "FloorplanPhysical", "FloorplanSignaling", "Technology",
 			"Specification", "Electrical":
 			if len(ln.fields) != 1 {
-				return errAt(ln.num, "section header %s takes no arguments", head.value)
+				return errAtField(ln.num, ln.fields[1], "section header %s takes no arguments", head.value)
 			}
 			p.section = head.value
 			return nil
 		case "Name":
 			if len(ln.fields) < 2 {
-				return errAt(ln.num, "Name takes at least one argument")
+				return errAtField(ln.num, head, "Name takes at least one argument")
 			}
 			parts := make([]string, 0, len(ln.fields)-1)
 			for _, f := range ln.fields[1:] {
 				if !f.bare() {
-					return errAt(ln.num, "Name takes bare words, got %q", f.text())
+					return errAtField(ln.num, f, "Name takes bare words, got %q", f.text())
 				}
 				parts = append(parts, f.value)
 			}
@@ -118,33 +141,42 @@ func (p *parser) line(ln line) error {
 	case "Electrical":
 		return p.electrical(ln)
 	}
-	return errAt(ln.num, "unexpected directive %q outside any section", head.text())
+	return errAtField(ln.num, head, "unexpected directive %q outside any section", head.text())
 }
 
 // ---- attribute helpers ----
 
 // attrs collects the key=value fields of a line and tracks which were used,
-// so unknown attributes can be reported.
+// so unknown attributes can be reported. Each attribute remembers the
+// column of its field, so value errors point at the offending token.
 type attrs struct {
 	num  int
 	m    map[string]string
+	cols map[string]int
 	used map[string]bool
 	bare []string
 }
 
 func newAttrs(ln line, skip int) (*attrs, error) {
-	a := &attrs{num: ln.num, m: map[string]string{}, used: map[string]bool{}}
+	a := &attrs{num: ln.num, m: map[string]string{},
+		cols: map[string]int{}, used: map[string]bool{}}
 	for _, f := range ln.fields[skip:] {
 		if f.bare() {
 			a.bare = append(a.bare, f.value)
 			continue
 		}
 		if _, dup := a.m[f.key]; dup {
-			return nil, errAt(ln.num, "duplicate attribute %q", f.key)
+			return nil, errAtField(ln.num, f, "duplicate attribute %q", f.key)
 		}
 		a.m[f.key] = f.value
+		a.cols[f.key] = f.col
 	}
 	return a, nil
+}
+
+// errKey positions an error at the named attribute's token.
+func (a *attrs) errKey(key, format string, args ...any) error {
+	return &ParseError{Line: a.num, Col: a.cols[key], Msg: errMsg(format, args...)}
 }
 
 func (a *attrs) has(key string) bool { _, ok := a.m[key]; return ok }
@@ -157,6 +189,7 @@ func (a *attrs) get(key string) (string, bool) {
 	return v, ok
 }
 
+// leftover returns the unused attribute keys, leftmost first.
 func (a *attrs) leftover() []string {
 	var extra []string
 	for k := range a.m {
@@ -164,12 +197,13 @@ func (a *attrs) leftover() []string {
 			extra = append(extra, k)
 		}
 	}
+	sort.Slice(extra, func(i, j int) bool { return a.cols[extra[i]] < a.cols[extra[j]] })
 	return extra
 }
 
 func (a *attrs) finish(context string) error {
 	if extra := a.leftover(); len(extra) > 0 {
-		return errAt(a.num, "%s: unknown attribute %q", context, extra[0])
+		return a.errKey(extra[0], "%s: unknown attribute %q", context, extra[0])
 	}
 	return nil
 }
@@ -181,7 +215,7 @@ func (a *attrs) intAttr(key string, dst *int) error {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return errAt(a.num, "attribute %s: bad integer %q", key, v)
+		return a.errKey(key, "attribute %s: bad integer %q", key, v)
 	}
 	*dst = n
 	return nil
@@ -194,7 +228,7 @@ func (a *attrs) lengthAttr(key string, dst *units.Length) error {
 	}
 	l, err := units.ParseLength(v)
 	if err != nil {
-		return errAt(a.num, "attribute %s: %v", key, err)
+		return a.errKey(key, "attribute %s: %v", key, err)
 	}
 	*dst = l
 	return nil
@@ -207,7 +241,7 @@ func (a *attrs) fractionAttr(key string, dst *float64) error {
 	}
 	f, err := units.ParseFraction(v)
 	if err != nil {
-		return errAt(a.num, "attribute %s: %v", key, err)
+		return a.errKey(key, "attribute %s: %v", key, err)
 	}
 	*dst = f
 	return nil
@@ -220,7 +254,7 @@ func (a *attrs) durationAttr(key string, dst *units.Duration) error {
 	}
 	d, err := units.ParseDuration(v)
 	if err != nil {
-		return errAt(a.num, "attribute %s: %v", key, err)
+		return a.errKey(key, "attribute %s: %v", key, err)
 	}
 	*dst = d
 	return nil
@@ -231,7 +265,7 @@ func (a *attrs) durationAttr(key string, dst *units.Duration) error {
 func (p *parser) floorplanPhysical(ln line) error {
 	head := ln.fields[0]
 	if !head.bare() {
-		return errAt(ln.num, "expected a floorplan directive, got %q", head.text())
+		return errAtField(ln.num, head, "expected a floorplan directive, got %q", head.text())
 	}
 	fp := &p.d.Floorplan
 	switch head.value {
@@ -243,7 +277,7 @@ func (p *parser) floorplanPhysical(ln line) error {
 		if v, ok := a.get("BL"); ok {
 			ax, err := ParseAxis(v)
 			if err != nil {
-				return errAt(ln.num, "%v", err)
+				return a.errKey("BL", "%v", err)
 			}
 			fp.BitlineDir = ax
 		}
@@ -256,7 +290,7 @@ func (p *parser) floorplanPhysical(ln line) error {
 		if v, ok := a.get("BLtype"); ok {
 			arch, err := ParseBitlineArch(v)
 			if err != nil {
-				return errAt(ln.num, "%v", err)
+				return a.errKey("BLtype", "%v", err)
 			}
 			fp.Arch = arch
 		}
@@ -296,24 +330,24 @@ func (p *parser) floorplanPhysical(ln line) error {
 	case "SizeVertical", "SizeHorizontal":
 		return p.blockSizes(ln, head.value == "SizeVertical")
 	}
-	return errAt(ln.num, "unknown floorplan directive %q", head.value)
+	return errAtField(ln.num, head, "unknown floorplan directive %q", head.value)
 }
 
 func (p *parser) blockList(ln line, vertical bool) error {
 	// "Vertical blocks = A1 P1 P2 P1 A1" arrives as fields
 	// [Vertical] [blocks=A1] [P1] [P2] [P1] [A1].
 	if len(ln.fields) < 2 || ln.fields[1].key != "blocks" {
-		return errAt(ln.num, "expected 'blocks = <names...>'")
+		return errAtField(ln.num, ln.fields[0], "expected 'blocks = <names...>'")
 	}
 	names := []string{ln.fields[1].value}
 	for _, f := range ln.fields[2:] {
 		if !f.bare() {
-			return errAt(ln.num, "unexpected attribute %q in block list", f.text())
+			return errAtField(ln.num, f, "unexpected attribute %q in block list", f.text())
 		}
 		names = append(names, f.value)
 	}
 	if names[0] == "" {
-		return errAt(ln.num, "empty block list")
+		return errAtField(ln.num, ln.fields[1], "empty block list")
 	}
 	if vertical {
 		p.d.Floorplan.VerticalBlocks = names
@@ -325,7 +359,7 @@ func (p *parser) blockList(ln line, vertical bool) error {
 
 func (p *parser) blockSizes(ln line, vertical bool) error {
 	if len(ln.fields) < 2 {
-		return errAt(ln.num, "expected block sizes, e.g. 'SizeVertical A1=3396um'")
+		return errAtField(ln.num, ln.fields[0], "expected block sizes, e.g. 'SizeVertical A1=3396um'")
 	}
 	dst := p.d.Floorplan.BlockWidth
 	if vertical {
@@ -333,11 +367,11 @@ func (p *parser) blockSizes(ln line, vertical bool) error {
 	}
 	for _, f := range ln.fields[1:] {
 		if f.bare() {
-			return errAt(ln.num, "expected name=size, got %q", f.text())
+			return errAtField(ln.num, f, "expected name=size, got %q", f.text())
 		}
 		l, err := units.ParseLength(f.value)
 		if err != nil {
-			return errAt(ln.num, "size of block %s: %v", f.key, err)
+			return errAtField(ln.num, f, "size of block %s: %v", f.key, err)
 		}
 		dst[f.key] = l
 	}
@@ -349,11 +383,11 @@ func (p *parser) blockSizes(ln line, vertical bool) error {
 func (p *parser) signaling(ln line) error {
 	head := ln.fields[0]
 	if !head.bare() {
-		return errAt(ln.num, "expected a signal segment name, got %q", head.text())
+		return errAtField(ln.num, head, "expected a signal segment name, got %q", head.text())
 	}
 	kind, err := KindForBus(head.value)
 	if err != nil {
-		return errAt(ln.num, "%v", err)
+		return errAtField(ln.num, head, "%v", err)
 	}
 	seg := Segment{Name: head.value, Kind: kind, Toggle: -1}
 	a, err := newAttrs(ln, 1)
@@ -363,7 +397,7 @@ func (p *parser) signaling(ln line) error {
 	if v, ok := a.get("inside"); ok {
 		ref, err := ParseBlockRef(v)
 		if err != nil {
-			return errAt(ln.num, "%v", err)
+			return a.errKey("inside", "%v", err)
 		}
 		seg.Inside = &ref
 		seg.Fraction = 1
@@ -374,21 +408,21 @@ func (p *parser) signaling(ln line) error {
 	if v, ok := a.get("dir"); ok {
 		ax, err := ParseAxis(v)
 		if err != nil {
-			return errAt(ln.num, "%v", err)
+			return a.errKey("dir", "%v", err)
 		}
 		seg.Dir = ax
 	}
 	if v, ok := a.get("start"); ok {
 		ref, err := ParseBlockRef(v)
 		if err != nil {
-			return errAt(ln.num, "%v", err)
+			return a.errKey("start", "%v", err)
 		}
 		seg.Start = &ref
 	}
 	if v, ok := a.get("end"); ok {
 		ref, err := ParseBlockRef(v)
 		if err != nil {
-			return errAt(ln.num, "%v", err)
+			return a.errKey("end", "%v", err)
 		}
 		seg.End = &ref
 	}
@@ -402,7 +436,7 @@ func (p *parser) signaling(ln line) error {
 		// "1:8" means the bus widens 8x downstream.
 		frac, err := units.ParseFraction(v)
 		if err != nil || frac <= 0 {
-			return errAt(ln.num, "bad mux ratio %q", v)
+			return a.errKey("mux", "bad mux ratio %q", v)
 		}
 		if frac > 1 {
 			seg.MuxRatio = int(frac + 0.5)
@@ -555,10 +589,10 @@ func (p *parser) technology(ln line) error {
 	key, val := ln.fields[0].value, ln.fields[1].value
 	set, ok := technologySetters(&p.d.Technology)[key]
 	if !ok {
-		return errAt(ln.num, "unknown technology parameter %q", key)
+		return errAtField(ln.num, ln.fields[0], "unknown technology parameter %q", key)
 	}
 	if err := set(val); err != nil {
-		return errAt(ln.num, "technology parameter %s: %v", key, err)
+		return errAtField(ln.num, ln.fields[1], "technology parameter %s: %v", key, err)
 	}
 	return nil
 }
@@ -568,7 +602,7 @@ func (p *parser) technology(ln line) error {
 func (p *parser) specification(ln line) error {
 	head := ln.fields[0]
 	if !head.bare() {
-		return errAt(ln.num, "expected a specification directive, got %q", head.text())
+		return errAtField(ln.num, head, "expected a specification directive, got %q", head.text())
 	}
 	s := &p.d.Spec
 	a, err := newAttrs(ln, 1)
@@ -583,7 +617,7 @@ func (p *parser) specification(ln line) error {
 		if v, ok := a.get("datarate"); ok {
 			r, err := units.ParseDataRate(v)
 			if err != nil {
-				return errAt(ln.num, "datarate: %v", err)
+				return a.errKey("datarate", "datarate: %v", err)
 			}
 			s.DataRate = r
 		}
@@ -595,7 +629,7 @@ func (p *parser) specification(ln line) error {
 		if v, ok := a.get("frequency"); ok {
 			f, err := units.ParseFrequency(v)
 			if err != nil {
-				return errAt(ln.num, "frequency: %v", err)
+				return a.errKey("frequency", "frequency: %v", err)
 			}
 			s.DataClock = f
 		}
@@ -604,7 +638,7 @@ func (p *parser) specification(ln line) error {
 		if v, ok := a.get("frequency"); ok {
 			f, err := units.ParseFrequency(v)
 			if err != nil {
-				return errAt(ln.num, "frequency: %v", err)
+				return a.errKey("frequency", "frequency: %v", err)
 			}
 			s.ControlClock = f
 		}
@@ -639,7 +673,7 @@ func (p *parser) specification(ln line) error {
 		}
 		return a.finish("Timing")
 	}
-	return errAt(ln.num, "unknown specification directive %q", head.value)
+	return errAtField(ln.num, head, "unknown specification directive %q", head.value)
 }
 
 // ---- Electrical ----
@@ -647,17 +681,17 @@ func (p *parser) specification(ln line) error {
 func (p *parser) electrical(ln line) error {
 	head := ln.fields[0]
 	if !head.bare() {
-		return errAt(ln.num, "expected an electrical directive, got %q", head.text())
+		return errAtField(ln.num, head, "expected an electrical directive, got %q", head.text())
 	}
 	el := &p.d.Electrical
 	switch head.value {
 	case "Vdd", "Vint", "Vbl", "Vpp":
 		if len(ln.fields) < 2 || !ln.fields[1].bare() {
-			return errAt(ln.num, "%s needs a voltage, e.g. '%s 1.5V'", head.value, head.value)
+			return errAtField(ln.num, head, "%s needs a voltage, e.g. '%s 1.5V'", head.value, head.value)
 		}
 		v, err := units.ParseVoltage(ln.fields[1].value)
 		if err != nil {
-			return errAt(ln.num, "%s: %v", head.value, err)
+			return errAtField(ln.num, ln.fields[1], "%s: %v", head.value, err)
 		}
 		a, err := newAttrs(ln, 2)
 		if err != nil {
@@ -683,18 +717,18 @@ func (p *parser) electrical(ln line) error {
 		return nil
 	case "ConstantCurrent":
 		if len(ln.fields) != 2 || !ln.fields[1].bare() {
-			return errAt(ln.num, "ConstantCurrent needs a current, e.g. 'ConstantCurrent 3mA'")
+			return errAtField(ln.num, head, "ConstantCurrent needs a current, e.g. 'ConstantCurrent 3mA'")
 		}
 		v := ln.fields[1].value
 		// Currents use the same SI grammar with base unit "A".
 		num, err := parseCurrent(v)
 		if err != nil {
-			return errAt(ln.num, "ConstantCurrent: %v", err)
+			return errAtField(ln.num, ln.fields[1], "ConstantCurrent: %v", err)
 		}
 		el.ConstantCurrent = num
 		return nil
 	}
-	return errAt(ln.num, "unknown electrical directive %q", head.value)
+	return errAtField(ln.num, head, "unknown electrical directive %q", head.value)
 }
 
 func parseCurrent(s string) (units.Current, error) {
@@ -743,7 +777,7 @@ func (p *parser) logicBlock(ln line) error {
 		for _, opName := range strings.Split(v, ",") {
 			op, err := ParseOp(opName)
 			if err != nil {
-				return errAt(ln.num, "logic block %s: %v", b.Name, err)
+				return a.errKey("active", "logic block %s: %v", b.Name, err)
 			}
 			b.ActiveDuring = append(b.ActiveDuring, op)
 		}
@@ -752,7 +786,7 @@ func (p *parser) logicBlock(ln line) error {
 		return err
 	}
 	if b.Name == "" {
-		return errAt(ln.num, "LogicBlock needs a name attribute")
+		return errAtField(ln.num, ln.fields[0], "LogicBlock needs a name attribute")
 	}
 	p.d.LogicBlocks = append(p.d.LogicBlocks, b)
 	return nil
@@ -764,28 +798,28 @@ func (p *parser) pattern(ln line) error {
 	// "Pattern loop= act nop wrt nop rd nop pre nop" arrives as
 	// [Pattern] [loop=act] [nop] [wrt] ...
 	if len(ln.fields) < 2 || ln.fields[1].key != "loop" {
-		return errAt(ln.num, "expected 'Pattern loop= <ops...>'")
+		return errAtField(ln.num, ln.fields[0], "expected 'Pattern loop= <ops...>'")
 	}
-	names := []string{ln.fields[1].value}
+	names := []field{{value: ln.fields[1].value, col: ln.fields[1].col}}
 	for _, f := range ln.fields[2:] {
 		if !f.bare() {
-			return errAt(ln.num, "unexpected attribute %q in pattern", f.text())
+			return errAtField(ln.num, f, "unexpected attribute %q in pattern", f.text())
 		}
-		names = append(names, f.value)
+		names = append(names, f)
 	}
 	var loop []Op
 	for _, n := range names {
-		if n == "" {
+		if n.value == "" {
 			continue
 		}
-		op, err := ParseOp(n)
+		op, err := ParseOp(n.value)
 		if err != nil {
-			return errAt(ln.num, "%v", err)
+			return errAtField(ln.num, n, "%v", err)
 		}
 		loop = append(loop, op)
 	}
 	if len(loop) == 0 {
-		return errAt(ln.num, "empty pattern loop")
+		return errAtField(ln.num, ln.fields[0], "empty pattern loop")
 	}
 	p.d.Pattern.Loop = loop
 	return nil

@@ -3,6 +3,7 @@ package desc
 import (
 	"errors"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -172,6 +173,68 @@ func TestParseErrorHasLineNumber(t *testing.T) {
 	}
 	if pe.Line != 4 {
 		t.Errorf("error line: got %d, want 4", pe.Line)
+	}
+	if pe.Col != 11 {
+		t.Errorf("error col: got %d, want 11 (the BL=q token)", pe.Col)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	// Every parse error carries the line and, where a single token is at
+	// fault, the 1-based column of that token; Col 0 means "whole line".
+	cases := []struct {
+		name, src         string
+		wantLine, wantCol int
+	}{
+		{"bad axis value", "FloorplanPhysical\n\n# comment\nCellArray BL=q\n", 4, 11},
+		{"unknown tech param", "Technology\nFluxCapacitance 1fF\n", 2, 1},
+		{"tech param bad value", "Technology\nBitlineCap 80xF\n", 2, 12},
+		{"bad pattern op", "Pattern loop= act jump\n", 1, 19},
+		{"dangling equals", "FloorplanPhysical\n= A1\n", 2, 1},
+		{"unknown attribute", "Specification\nIO width=16 color=red\n", 2, 13},
+		{"duplicate attribute", "FloorplanSignaling\nDataW0 inside=0_0 inside=1_1\n", 2, 19},
+		{"section header argument", "FloorplanPhysical extra\n", 1, 19},
+		{"spaced equals keeps key col", "Specification\nIO width = 16x\n", 2, 4},
+		{"whole-line error has col 0", "Technology\nBitlineCap\n", 2, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T (%v), want *ParseError", err, err)
+			}
+			if pe.Line != c.wantLine || pe.Col != c.wantCol {
+				t.Errorf("position: got line %d col %d, want line %d col %d (%v)",
+					pe.Line, pe.Col, c.wantLine, c.wantCol, pe)
+			}
+		})
+	}
+}
+
+func TestParseFileErrorWrapsParseError(t *testing.T) {
+	// ParseFile wraps with the path using %w so errors.As still recovers
+	// the position.
+	path := t.TempDir() + "/bad.dram"
+	if err := os.WriteFile(path, []byte("Technology\nFluxCapacitance 1fF\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParseFile(path)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want wrapped *ParseError", err, err)
+	}
+	if pe.Line != 2 || pe.Col != 1 {
+		t.Errorf("position: got line %d col %d, want line 2 col 1", pe.Line, pe.Col)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not mention the file path", err)
 	}
 }
 

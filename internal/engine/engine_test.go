@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderIsDeterministic(t *testing.T) {
+	// Jobs finish in reverse submission order; results must still come
+	// back in submission order.
+	const n = 16
+	jobs := make([]func() (int, error), n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func() (int, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * i, nil
+		}
+	}
+	got, err := Run(jobs, Options{Workers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunFirstErrorAndPartialResults(t *testing.T) {
+	sentinel3 := errors.New("job 3 failed")
+	sentinel7 := errors.New("job 7 failed")
+	jobs := make([]func() (string, error), 10)
+	var ran atomic.Int32
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (string, error) {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return "", sentinel3
+			case 7:
+				return "", sentinel7
+			}
+			return fmt.Sprintf("ok-%d", i), nil
+		}
+	}
+	got, err := Run(jobs, Options{Workers: 4})
+	if !errors.Is(err, sentinel3) {
+		t.Errorf("error = %v, want first error (job 3)", err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d jobs, want all 10 despite failures", ran.Load())
+	}
+	if got[3] != "" || got[7] != "" {
+		t.Errorf("failed slots not zeroed: %q, %q", got[3], got[7])
+	}
+	if got[0] != "ok-0" || got[9] != "ok-9" {
+		t.Errorf("partial results lost: %q, %q", got[0], got[9])
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if got, err := Run[int](nil, Options{}); err != nil || len(got) != 0 {
+		t.Errorf("empty run: %v, %v", got, err)
+	}
+	got, err := Run([]func() (int, error){func() (int, error) { return 42, nil }}, Options{Workers: 8})
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Errorf("single run: %v, %v", got, err)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct {
+		workers, jobs, want int
+	}{
+		{0, 100, 0},  // 0 -> NumCPU (exact value machine-dependent; want>0 checked below)
+		{-5, 100, 0}, // negative -> NumCPU
+		{8, 3, 3},    // never more workers than jobs
+		{1, 10, 1},
+		{4, 10, 4},
+	}
+	for _, c := range cases {
+		got := Options{Workers: c.workers}.workers(c.jobs)
+		if c.want > 0 && got != c.want {
+			t.Errorf("Options{%d}.workers(%d) = %d, want %d", c.workers, c.jobs, got, c.want)
+		}
+		if got < 1 || got > c.jobs {
+			t.Errorf("Options{%d}.workers(%d) = %d outside [1,%d]", c.workers, c.jobs, got, c.jobs)
+		}
+	}
+}
+
+func TestMapPassesIndexAndItem(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	got, err := Map(items, func(i int, s string) (string, error) {
+		return fmt.Sprintf("%d:%s", i, s), nil
+	}, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:a", "1:b", "2:c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("map[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunSerialMatchesParallel(t *testing.T) {
+	jobs := make([]func() (float64, error), 33)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (float64, error) { return float64(i) * 1.5, nil }
+	}
+	serial, err1 := Run(jobs, Options{Workers: 1})
+	parallel, err2 := Run(jobs, Options{Workers: 8})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("serial[%d]=%v parallel[%d]=%v", i, serial[i], i, parallel[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/units"
 )
 
@@ -466,14 +467,21 @@ func rowToRow(i Interface) units.Duration {
 
 // BuildAll returns descriptions for every roadmap node.
 func BuildAll() ([]*desc.Description, error) {
-	nodes := Roadmap()
-	out := make([]*desc.Description, 0, len(nodes))
-	for _, n := range nodes {
+	return BuildAllOpts(engine.Options{Workers: 1})
+}
+
+// BuildAllOpts is BuildAll with batch-evaluation options: the nodes
+// synthesize and validate concurrently, in roadmap order.
+func BuildAllOpts(opts engine.Options) ([]*desc.Description, error) {
+	out, err := engine.Map(Roadmap(), func(_ int, n Node) (*desc.Description, error) {
 		d := n.Description()
 		if err := d.Validate(); err != nil {
 			return nil, fmt.Errorf("scaling: node %s: %w", n.Name(), err)
 		}
-		out = append(out, d)
+		return d, nil
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"drampower/internal/core"
+	"drampower/internal/engine"
+)
+
+// TrendPoint is one generation of the Figure 13 energy-per-bit and
+// die-area trend: the roadmap node with its built model's headline
+// figures.
+type TrendPoint struct {
+	Node Node
+	// DieAreaMM2 is the die area in mm².
+	DieAreaMM2 float64
+	// EnergyPerBitPJ is the energy per bit of the interleaved (IDD7)
+	// pattern in picojoules.
+	EnergyPerBitPJ float64
+	// GenRatio is the energy reduction versus the previous roadmap node
+	// (previous energy / this energy; 1.5 means a 1.5x reduction). Zero
+	// for the first node.
+	GenRatio float64
+}
+
+// EnergyTrend builds every roadmap node and reports the Figure 13 series
+// in roadmap order. The node models build concurrently per opts; the
+// generation ratios chain serially afterwards, so any worker count
+// produces the same series.
+func EnergyTrend(opts engine.Options) ([]TrendPoint, error) {
+	pts, err := engine.Map(Roadmap(), func(_ int, n Node) (TrendPoint, error) {
+		m, err := core.Build(n.Description())
+		if err != nil {
+			return TrendPoint{}, fmt.Errorf("scaling: node %s: %w", n.Name(), err)
+		}
+		return TrendPoint{
+			Node:           n,
+			DieAreaMM2:     float64(m.DieArea()) / 1e-6,
+			EnergyPerBitPJ: m.EnergyPerBitIDD7().Picojoules(),
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EnergyPerBitPJ > 0 {
+			pts[i].GenRatio = pts[i-1].EnergyPerBitPJ / pts[i].EnergyPerBitPJ
+		}
+	}
+	return pts, nil
+}
+
+// ReductionPerGeneration returns the geometric-mean energy reduction
+// factor per generation between the nodes with the given feature sizes
+// (the paper's headline: ~1.5x historic from 170 nm to 44 nm, ~1.2x
+// forecast from 44 nm to 16 nm). Zero if either node is missing or the
+// range is empty.
+func ReductionPerGeneration(pts []TrendPoint, fromNm, toNm float64) float64 {
+	fromIdx, toIdx := -1, -1
+	for i, p := range pts {
+		if p.Node.FeatureNm == fromNm {
+			fromIdx = i
+		}
+		if p.Node.FeatureNm == toNm {
+			toIdx = i
+		}
+	}
+	if fromIdx < 0 || toIdx < 0 || toIdx <= fromIdx || pts[toIdx].EnergyPerBitPJ <= 0 {
+		return 0
+	}
+	return math.Pow(pts[fromIdx].EnergyPerBitPJ/pts[toIdx].EnergyPerBitPJ,
+		1.0/float64(toIdx-fromIdx))
+}

@@ -12,6 +12,7 @@ import (
 
 	"drampower/internal/core"
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/units"
 )
 
@@ -200,8 +201,17 @@ type Result struct {
 }
 
 // Evaluate runs the baseline and every scheme on the given description and
-// returns the results, baseline first.
+// returns the results, baseline first. Evaluation is serial; EvaluateOpts
+// runs the schemes on a worker pool.
 func Evaluate(base *desc.Description) ([]Result, error) {
+	return EvaluateOpts(base, engine.Options{Workers: 1})
+}
+
+// EvaluateOpts is Evaluate with batch-evaluation options. The baseline is
+// built first (its figures feed every delta); the schemes then evaluate
+// concurrently, each on its own deep clone of the baseline description, so
+// any worker count produces the same results.
+func EvaluateOpts(base *desc.Description, opts engine.Options) ([]Result, error) {
 	baseModel, err := core.Build(base.Clone())
 	if err != nil {
 		return nil, fmt.Errorf("schemes: baseline: %w", err)
@@ -211,23 +221,16 @@ func Evaluate(base *desc.Description) ([]Result, error) {
 	if baseE <= 0 || baseA <= 0 {
 		return nil, fmt.Errorf("schemes: degenerate baseline (E=%g, A=%g)", baseE, baseA)
 	}
-	results := []Result{{
-		Name:         "baseline (commodity)",
-		Source:       "Section II floorplan",
-		EnergyPerBit: units.Energy(baseE),
-		DieAreaMM2:   baseA,
-		IDD7:         baseModel.IDD().IDD7,
-	}}
-	for _, s := range All() {
+	variants, err := engine.Map(All(), func(_ int, s Scheme) (Result, error) {
 		d := base.Clone()
 		s.Apply(d)
 		m, err := core.Build(d)
 		if err != nil {
-			return nil, fmt.Errorf("schemes: %s: %w", s.Name, err)
+			return Result{}, fmt.Errorf("schemes: %s: %w", s.Name, err)
 		}
 		e := float64(m.EnergyPerBitIDD7())
 		a := float64(m.DieArea()) / 1e-6
-		results = append(results, Result{
+		return Result{
 			Name:           s.Name,
 			Source:         s.Source,
 			Notes:          s.Notes,
@@ -236,9 +239,20 @@ func Evaluate(base *desc.Description) ([]Result, error) {
 			DieAreaMM2:     a,
 			AreaDeltaPct:   100 * (a - baseA) / baseA,
 			IDD7:           m.IDD().IDD7,
-		})
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
-	return results, nil
+	results := make([]Result, 0, len(variants)+1)
+	results = append(results, Result{
+		Name:         "baseline (commodity)",
+		Source:       "Section II floorplan",
+		EnergyPerBit: units.Energy(baseE),
+		DieAreaMM2:   baseA,
+		IDD7:         baseModel.IDD().IDD7,
+	})
+	return append(results, variants...), nil
 }
 
 // ParetoNote classifies a result: schemes that save energy without area

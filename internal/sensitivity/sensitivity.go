@@ -12,6 +12,7 @@ import (
 
 	"drampower/internal/core"
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/units"
 )
 
@@ -193,9 +194,17 @@ const Variation = 0.20
 // Sweep varies every registry parameter on the given description and
 // returns the results sorted by descending range, evaluating the
 // description's pattern. Parameters excluded from the chart are omitted;
-// use SweepAll to include them.
+// use SweepAll to include them. Evaluation is serial; SweepOpts runs the
+// same sweep on a worker pool.
 func Sweep(d *desc.Description) ([]Result, error) {
-	all, err := SweepAll(d)
+	return SweepOpts(d, engine.Options{Workers: 1})
+}
+
+// SweepOpts is Sweep with batch-evaluation options: one worker per
+// parameter up to the pool size (Workers <= 0 uses one worker per CPU).
+// The results are identical to Sweep's for any worker count.
+func SweepOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
+	all, err := SweepAllOpts(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -216,6 +225,14 @@ func Sweep(d *desc.Description) ([]Result, error) {
 
 // SweepAll is Sweep including chart-excluded parameters.
 func SweepAll(d *desc.Description) ([]Result, error) {
+	return SweepAllOpts(d, engine.Options{Workers: 1})
+}
+
+// SweepAllOpts is SweepAll with batch-evaluation options. Each parameter's
+// up/down pair is one job: the jobs only read the shared base description
+// (every evaluation works on its own deep clone), so any worker count
+// produces the same results.
+func SweepAllOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
 	base, err := core.Build(d.Clone())
 	if err != nil {
 		return nil, err
@@ -235,23 +252,24 @@ func SweepAll(d *desc.Description) ([]Result, error) {
 		return float64(m.EvaluatePattern(m.PatternIDD7(0.5)).Power), nil
 	}
 
-	var results []Result
-	for _, p := range Registry() {
+	results, err := engine.Map(Registry(), func(_ int, p Parameter) (Result, error) {
 		up, err := eval(p, 1+Variation)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
 		down, err := eval(p, 1-Variation)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
-		r := Result{
+		return Result{
 			Name:         p.Name,
 			DeltaUpPct:   100 * (up - basePower) / basePower,
 			DeltaDownPct: 100 * (down - basePower) / basePower,
 			RangePct:     100 * abs(up-down) / basePower,
-		}
-		results = append(results, r)
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		return results[i].RangePct > results[j].RangePct

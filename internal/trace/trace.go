@@ -70,9 +70,6 @@ type Simulator struct {
 	counts    map[desc.Op]int64
 	cmdEnergy float64 // accumulated command energy (J)
 	bits      int64
-
-	// cached per-op energies
-	opEnergy map[desc.Op]float64
 }
 
 // New creates a simulator for the model.
@@ -107,7 +104,6 @@ func New(m *core.Model) *Simulator {
 		burstSlots: int64(m.BurstSlots()),
 		banks:      make([]bankState, spec.Banks()),
 		counts:     map[desc.Op]int64{},
-		opEnergy:   map[desc.Op]float64{},
 	}
 	for i := range s.banks {
 		s.banks[i].actSlot = math.MinInt64 / 2
@@ -115,9 +111,6 @@ func New(m *core.Model) *Simulator {
 	}
 	s.busUntil = math.MinInt64 / 2
 	s.refUntil = math.MinInt64 / 2
-	for _, op := range desc.AllOps {
-		s.opEnergy[op] = float64(m.Charges(op).EnergyFromVdd(m.D.Electrical))
-	}
 	return s
 }
 
@@ -212,7 +205,9 @@ func (s *Simulator) Issue(c Command) error {
 	}
 	s.now = c.Slot
 	s.counts[c.Op]++
-	s.cmdEnergy += s.opEnergy[c.Op]
+	// Per-command energy integration is an O(1) read of the model's
+	// charge ledger precomputed at Build time.
+	s.cmdEnergy += float64(s.m.OpEnergy(c.Op))
 	return nil
 }
 
