@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-all check
 
 all: check
 
@@ -16,7 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Trace + engine benchmarks, snapshotted into BENCH_trace.json (ns/op,
+# allocs/op, cmds/s, MB/s) so future PRs have a perf trajectory to
+# compare against. The human-readable output still lands on stderr.
 bench:
+	$(GO) test -run '^$$' -bench 'Trace|Sweep' -benchmem . \
+		| $(GO) run ./tools/benchjson -echo > BENCH_trace.json
+
+# Every benchmark in the repo (the full reproduction log).
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 # The full gate: everything CI (and a reviewer) expects to be green.

@@ -9,6 +9,7 @@ package drampower
 // dramschemes).
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -357,6 +358,115 @@ func BenchmarkTraceEnergyRecompute(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(cmds)), "commands")
 }
+
+// ---- trace-engine throughput benchmarks ----
+//
+// The streaming/replay subsystem's perf trajectory: `make bench` runs
+// these (plus the engine benchmarks) with -benchmem and snapshots the
+// numbers into BENCH_trace.json for future PRs to compare against.
+
+// BenchmarkTraceIssue measures the simulator hot path alone: one Issue
+// per iteration, no scanning, no result accounting. The accept path is
+// 0 allocs/op (enforced by TestIssueZeroAllocs).
+func BenchmarkTraceIssue(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1<<14, 0.5, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := trace.New(m)
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j == len(cmds) {
+			s = trace.New(m) // fresh timing state; amortized over 49k issues
+			j = 0
+		}
+		if err := s.Issue(cmds[j]); err != nil {
+			b.Fatal(err)
+		}
+		j++
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+}
+
+// BenchmarkTraceScan measures streaming ingestion alone: tokenizing and
+// decoding trace text without simulating it. MB/s comes from SetBytes.
+func BenchmarkTraceScan(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1<<13, 0.5, 1)
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, cmds); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := trace.NewScanner(bytes.NewReader(data))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if err := sc.Err(); err != nil || n != len(cmds) {
+			b.Fatalf("scanned %d/%d commands: %v", n, len(cmds), err)
+		}
+	}
+	b.ReportMetric(float64(len(cmds))*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+}
+
+// benchTraceReplay measures the full streaming replay pipeline — scan,
+// shard, simulate, merge — over a generated multi-channel closed-page
+// trace. cmds/s counts commands through the whole pipeline; MB/s is the
+// trace-text ingestion rate.
+func benchTraceReplay(b *testing.B, channels, workers int) {
+	b.Helper()
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := make([][]trace.Command, channels)
+	for ch := range per {
+		per[ch] = trace.RandomClosedPage(m, 20000/channels, 0.5, int64(ch+1))
+	}
+	var buf bytes.Buffer
+	cmds := trace.Interleave(per, m.D.Spec.Banks())
+	if err := trace.WriteTrace(&buf, cmds); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := trace.Replay(m, bytes.NewReader(data),
+			trace.ReplayOptions{Channels: channels, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Bits == 0 {
+			b.Fatal("replay moved no data")
+		}
+	}
+	b.ReportMetric(float64(len(cmds))*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+}
+
+// BenchmarkTraceReplay1Ch is the single-channel, single-worker baseline —
+// the serial streaming path.
+func BenchmarkTraceReplay1Ch(b *testing.B) { benchTraceReplay(b, 1, 1) }
+
+// BenchmarkTraceReplay8Ch1Worker replays an 8-channel trace serially:
+// the fair denominator for the parallel speedup.
+func BenchmarkTraceReplay8Ch1Worker(b *testing.B) { benchTraceReplay(b, 8, 1) }
+
+// BenchmarkTraceReplay8Ch replays an 8-channel trace with one worker per
+// CPU; on a 4+ core machine this shows the multi-channel speedup over
+// BenchmarkTraceReplay8Ch1Worker.
+func BenchmarkTraceReplay8Ch(b *testing.B) { benchTraceReplay(b, 8, 0) }
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,204 @@
+// Command dramtrace replays DRAM command traces against the power model
+// and reports the integrated energy accounting. Traces stream through a
+// fixed buffer, so multi-gigabyte files replay in constant memory; a
+// multi-channel trace (global bank indices spanning several devices) is
+// sharded across one simulator per channel and replayed concurrently.
+//
+// Usage:
+//
+//	dramtrace trace.txt                      # replay a trace file
+//	dramtrace < trace.txt                    # ... or stdin
+//	dramtrace -channels 8 -workers 8 t.txt   # 8-channel parallel replay
+//	dramtrace -format json t.txt             # machine-readable result
+//	dramtrace -desc device.dram t.txt        # replay against a description
+//	dramtrace -gen closed -n 100000          # emit a generated trace
+//	dramtrace -gen streaming -channels 4 -n 1000000 | dramtrace -channels 4
+//
+// The trace format is one command per line, `<slot> <op> [<bank>
+// [<row>]]`, '#' comments; ops are the pattern mnemonics act, pre, rd,
+// wrt, nop, ref. With -gen, -n sets the approximate command count and the
+// trace is written to stdout instead of replaying.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"drampower"
+	"drampower/internal/trace"
+)
+
+func main() {
+	descFile := flag.String("desc", "", "description file (default: built-in 1 Gb DDR3-1600 x16 sample)")
+	channels := flag.Int("channels", 1, "number of channels the trace's global bank indices span")
+	workers := flag.Int("workers", 0, "worker pool size for the replay (0 = one per CPU, 1 = serial)")
+	format := flag.String("format", "text", "output format: text or json")
+	gen := flag.String("gen", "", "generate a trace to stdout instead of replaying: streaming, closed or refresh")
+	n := flag.Int("n", 100000, "approximate command count for -gen")
+	readShare := flag.Float64("readshare", 0.7, "read share of generated column commands")
+	seed := flag.Int64("seed", 1, "base RNG seed for -gen")
+	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("bad -format %q (want text or json)", *format))
+	}
+
+	d := drampower.Sample1GbDDR3()
+	if *descFile != "" {
+		var err error
+		d, err = drampower.ParseFile(*descFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	m, err := drampower.Build(d)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *gen != "" {
+		if err := generate(m, *gen, *channels, *n, *readShare, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	cr := &countingReader{r: in}
+	start := time.Now()
+	res, err := drampower.ReplayTrace(m, cr, drampower.ReplayOptions{Channels: *channels, Workers: *workers})
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	report(res, cr.n, *channels, *workers, time.Since(start), *format)
+}
+
+// generate writes a synthetic trace to stdout: per-channel workloads from
+// the generators in internal/trace, interleaved into one global-bank
+// trace.
+func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed int64) error {
+	if channels < 1 {
+		channels = 1
+	}
+	perChannel := (n + channels - 1) / channels
+	chans := make([][]drampower.Command, channels)
+	for ch := range chans {
+		s := seed + int64(ch)
+		switch kind {
+		case "streaming":
+			chans[ch] = trace.Streaming(m, perChannel, readShare, s)
+		case "closed":
+			// Three commands (act/col/pre) per access.
+			chans[ch] = trace.RandomClosedPage(m, (perChannel+2)/3, readShare, s)
+		case "refresh":
+			chans[ch] = trace.RefreshOnly(m, perChannel)
+		default:
+			return fmt.Errorf("bad -gen %q (want streaming, closed or refresh)", kind)
+		}
+	}
+	return drampower.WriteTrace(os.Stdout, drampower.InterleaveChannels(chans, m.D.Spec.Banks()))
+}
+
+// countingReader counts the trace bytes consumed, for throughput
+// reporting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// output is the JSON shape of a replay report.
+type output struct {
+	Channels          int              `json:"channels"`
+	Workers           int              `json:"workers"`
+	Commands          int64            `json:"commands"`
+	Slots             int64            `json:"slots"`
+	DurationSeconds   float64          `json:"duration_seconds"`
+	CommandEnergyJ    float64          `json:"command_energy_j"`
+	BackgroundJ       float64          `json:"background_energy_j"`
+	TotalJ            float64          `json:"total_energy_j"`
+	AveragePowerW     float64          `json:"average_power_w"`
+	AverageCurrentA   float64          `json:"average_current_a"`
+	Bits              int64            `json:"bits"`
+	EnergyPerBitPJ    float64          `json:"energy_per_bit_pj"`
+	BusUtilization    float64          `json:"bus_utilization"`
+	Counts            map[string]int64 `json:"counts"`
+	TraceBytes        int64            `json:"trace_bytes"`
+	WallSeconds       float64          `json:"wall_seconds"`
+	CommandsPerSecond float64          `json:"commands_per_second"`
+	MBPerSecond       float64          `json:"mb_per_second"`
+}
+
+func report(res drampower.TraceResult, bytes int64, channels, workers int, wall time.Duration, format string) {
+	var commands int64
+	counts := map[string]int64{}
+	for op, c := range res.Counts {
+		commands += c
+		counts[op.String()] = c
+	}
+	o := output{
+		Channels:        channels,
+		Workers:         workers,
+		Commands:        commands,
+		Slots:           res.Slots,
+		DurationSeconds: float64(res.Duration),
+		CommandEnergyJ:  float64(res.CommandEnergy),
+		BackgroundJ:     float64(res.Background),
+		TotalJ:          float64(res.Total),
+		AveragePowerW:   float64(res.AveragePower),
+		AverageCurrentA: float64(res.AverageCurrent),
+		Bits:            res.Bits,
+		EnergyPerBitPJ:  float64(res.EnergyPerBit) * 1e12,
+		BusUtilization:  res.BusUtilization,
+		Counts:          counts,
+		TraceBytes:      bytes,
+		WallSeconds:     wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		o.CommandsPerSecond = float64(commands) / s
+		o.MBPerSecond = float64(bytes) / 1e6 / s
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("replayed %d commands over %d channel(s): %d slots (%.3f ms simulated)\n",
+		o.Commands, o.Channels, o.Slots, o.DurationSeconds*1e3)
+	fmt.Printf("  counts:          %v\n", o.Counts)
+	fmt.Printf("  command energy:  %.4g J\n", o.CommandEnergyJ)
+	fmt.Printf("  background:      %.4g J\n", o.BackgroundJ)
+	fmt.Printf("  total:           %.4g J  (%.1f mW avg, %.1f mA avg)\n",
+		o.TotalJ, o.AveragePowerW*1e3, o.AverageCurrentA*1e3)
+	fmt.Printf("  data:            %d bits, %.2f pJ/bit, bus utilization %.2f\n",
+		o.Bits, o.EnergyPerBitPJ, o.BusUtilization)
+	fmt.Printf("  throughput:      %.2f Mcmd/s, %.1f MB/s (%.3f s wall)\n",
+		o.CommandsPerSecond/1e6, o.MBPerSecond, o.WallSeconds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramtrace:", err)
+	os.Exit(1)
+}

@@ -233,7 +233,8 @@ func EvalBatch(ds []*Description, opts BatchOptions) ([]*PatternResult, error) {
 	}, opts)
 }
 
-// Re-exported trace types: the timing-validated command-trace simulator.
+// Re-exported trace types: the timing-validated command-trace simulator
+// and the streaming/replay layer on top of it.
 type (
 	// Simulator executes command traces with JEDEC timing checks and
 	// integrates energy.
@@ -242,6 +243,19 @@ type (
 	Command = trace.Command
 	// TraceResult summarizes a finished trace.
 	TraceResult = trace.Result
+	// TraceScanner streams a trace text file (<slot> <op> [<bank>
+	// [<row>]], '#' comments) without materializing it; see
+	// internal/trace for the format.
+	TraceScanner = trace.Scanner
+	// TraceParseError reports a malformed trace line with its 1-based
+	// line and column, mirroring ParseError's shape.
+	TraceParseError = trace.ParseError
+	// Replayer shards a multi-channel trace across one simulator per
+	// channel and replays the channels concurrently.
+	Replayer = trace.Replayer
+	// ReplayOptions selects the channel count and worker pool of a
+	// replay.
+	ReplayOptions = trace.ReplayOptions
 )
 
 // NewSimulator creates a trace simulator for the model.
@@ -262,4 +276,34 @@ func RandomClosedPageWorkload(m *Model, accesses int, readShare float64, seed in
 // accounting.
 func RunTrace(m *Model, cmds []Command) (TraceResult, error) {
 	return trace.Evaluate(m, cmds)
+}
+
+// NewTraceScanner returns a streaming scanner over trace text. Feed it to
+// Simulator.RunStream or Replayer.ReplayScanner to evaluate traces of any
+// length in constant memory.
+func NewTraceScanner(r io.Reader) *TraceScanner { return trace.NewScanner(r) }
+
+// NewReplayer creates a multi-channel trace replayer for the model.
+func NewReplayer(m *Model, opts ReplayOptions) *Replayer {
+	return trace.NewReplayer(m, opts)
+}
+
+// ReplayTrace streams a command trace from r against the model, sharded
+// across opts.Channels channels replayed concurrently by opts.Workers
+// workers, and reports the deterministically merged result. With one
+// channel the energy totals are bit-identical to RunTrace on the
+// materialized commands.
+func ReplayTrace(m *Model, r io.Reader, opts ReplayOptions) (TraceResult, error) {
+	return trace.Replay(m, r, opts)
+}
+
+// WriteTrace renders commands in the trace text format; the output
+// round-trips through NewTraceScanner.
+func WriteTrace(w io.Writer, cmds []Command) error { return trace.WriteTrace(w, cmds) }
+
+// InterleaveChannels merges per-channel traces into one multi-channel
+// trace with global bank indices (channel ch's bank b becomes bank
+// ch*banksPerChannel+b), ordered by slot.
+func InterleaveChannels(channels [][]Command, banksPerChannel int) []Command {
+	return trace.Interleave(channels, banksPerChannel)
 }

@@ -1,6 +1,8 @@
 package drampower
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -123,5 +125,61 @@ func TestTraceThroughFacade(t *testing.T) {
 	s := NewSimulator(m)
 	if err := s.Issue(Command{Slot: 0, Op: OpActivate, Bank: 0, Row: 3}); err != nil {
 		t.Errorf("simulator: %v", err)
+	}
+}
+
+func TestReplayTraceThroughFacade(t *testing.T) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := m.D.Spec.Banks()
+	per := [][]Command{
+		RandomClosedPageWorkload(m, 80, 0.5, 1),
+		StreamingWorkload(m, 200, 0.7, 2),
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, InterleaveChannels(per, banks)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	res, err := ReplayTrace(m, bytes.NewReader(data), ReplayOptions{Channels: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits == 0 || res.EnergyPerBit <= 0 {
+		t.Errorf("replay result: %+v", res)
+	}
+	if got := res.Counts[OpActivate]; got != 88 { // 80 closed-page + 8 streaming bank-opens
+		t.Errorf("merged activate count: got %d, want 88", got)
+	}
+
+	// The streaming scanner sees the same commands WriteTrace emitted.
+	sc := NewTraceScanner(bytes.NewReader(data))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(per[0]) + len(per[1]); n != want {
+		t.Errorf("scanner saw %d commands, want %d", n, want)
+	}
+}
+
+func TestTraceParseErrorThroughFacade(t *testing.T) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplayTrace(m, strings.NewReader("0 act 0 1\nnot a command\n"), ReplayOptions{})
+	var pe *TraceParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *TraceParseError", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("parse error line: got %d, want 2", pe.Line)
 	}
 }

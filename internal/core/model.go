@@ -44,17 +44,13 @@ type Model struct {
 	// Build, indexed by desc.Op. Charges serves O(1) reads from it; the
 	// slices inside are shared and must never be mutated (RecomputeCharges
 	// is the escape hatch for post-Build description changes).
-	ledger [numOps]*OpCharges
+	ledger [desc.NumOps]*OpCharges
 	// opEnergy caches each operation's Vdd-referred energy per occurrence
 	// so the trace simulator's per-command integration is a plain lookup.
-	opEnergy [numOps]units.Energy
+	opEnergy [desc.NumOps]units.Energy
 	// background caches the continuous-power ledger (see Background).
 	background *Background
 }
-
-// numOps sizes the per-op ledgers; desc.AllOps enumerates exactly the ops
-// in [0, numOps).
-const numOps = int(desc.OpRefresh) + 1
 
 // ResolvedSegment is a signaling floorplan segment with its routed length,
 // per-wire capacitance and derived wire count.
@@ -121,11 +117,17 @@ func (m *Model) buildLedger() {
 // draws, at the electrical state the model was built with. This is the
 // O(1) lookup the trace simulator integrates per command.
 func (m *Model) OpEnergy(op desc.Op) units.Energy {
-	if int(op) >= 0 && int(op) < len(m.opEnergy) {
+	if op.Valid() {
 		return m.opEnergy[op]
 	}
 	return m.computeCharges(op).EnergyFromVdd(m.D.Electrical)
 }
+
+// OpEnergies returns the whole per-op energy ledger as an array indexed
+// by desc.Op (a copy; the caller may keep it). The trace simulator
+// captures it once at construction so per-command energy integration is
+// a flat array read with no Model indirection on the hot path.
+func (m *Model) OpEnergies() [desc.NumOps]units.Energy { return m.opEnergy }
 
 // resolveSegments computes lengths, capacitances, wire counts and toggle
 // rates for every signaling segment. Data buses widen by the accumulated

@@ -107,6 +107,16 @@ const (
 // AllOps lists every operation in display order.
 var AllOps = []Op{OpNop, OpActivate, OpPrecharge, OpRead, OpWrite, OpRefresh}
 
+// NumOps is the number of distinct operations. Op values are contiguous
+// in [0, NumOps), so fixed arrays indexed by Op ([NumOps]T) are valid
+// per-op ledgers; the power engine and the trace simulator use such
+// arrays on their hot paths instead of maps.
+const NumOps = int(OpRefresh) + 1
+
+// Valid reports whether the operation is one of the defined ops, i.e. a
+// safe index into a [NumOps]T ledger.
+func (o Op) Valid() bool { return o >= 0 && int(o) < NumOps }
+
 var opNames = map[Op]string{
 	OpNop: "nop", OpActivate: "act", OpPrecharge: "pre",
 	OpRead: "rd", OpWrite: "wrt", OpRefresh: "ref",

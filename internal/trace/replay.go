@@ -1,0 +1,213 @@
+package trace
+
+// Multi-channel parallel replay: a Replayer shards one global command
+// stream across one Simulator per channel and drives the channels
+// concurrently on the shared batch engine (package engine), in bounded
+// rounds so memory stays O(batch) regardless of trace length.
+//
+// Channel addressing is by global bank index: in a C-channel system whose
+// devices have B banks each, global bank g addresses channel g/B, local
+// bank g%B. A single-channel replay therefore accepts exactly the bank
+// numbering Simulator.Run does, and its energy totals are bit-identical
+// to the in-memory Run path (same simulator, same issue order, same
+// float accumulation).
+
+import (
+	"fmt"
+	"io"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/engine"
+	"drampower/internal/units"
+)
+
+// ReplayOptions configures a multi-channel replay.
+type ReplayOptions struct {
+	// Channels is the number of independent channels (devices) the trace
+	// addresses; <= 0 means 1.
+	Channels int
+	// Workers bounds the worker pool driving the channels (engine
+	// semantics: <= 0 selects one worker per CPU, 1 replays serially).
+	Workers int
+}
+
+// replayBatch is the number of commands buffered per scheduling round.
+// Each round shards up to this many commands to the channels and issues
+// the per-channel batches concurrently; the shard buffers are reused, so
+// replay memory is bounded by the round size, not the trace length.
+const replayBatch = 1 << 15
+
+// Replayer shards a multi-channel command trace across one Simulator per
+// channel. The per-channel results merge deterministically (in channel
+// order), so the merged Result is independent of the worker count.
+type Replayer struct {
+	m     *core.Model
+	sims  []*Simulator
+	banks int // banks per channel
+	opts  engine.Options
+}
+
+// NewReplayer creates a replayer with one simulator per channel, all
+// against the same (immutable, concurrently readable) model.
+func NewReplayer(m *core.Model, opts ReplayOptions) *Replayer {
+	ch := opts.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	r := &Replayer{
+		m:     m,
+		sims:  make([]*Simulator, ch),
+		banks: m.D.Spec.Banks(),
+		opts:  engine.Options{Workers: opts.Workers},
+	}
+	for i := range r.sims {
+		r.sims[i] = New(m)
+	}
+	return r
+}
+
+// Channels returns the channel count.
+func (r *Replayer) Channels() int { return len(r.sims) }
+
+// ReplayScanner streams the scanner's commands through the per-channel
+// simulators: each round shards up to replayBatch commands by global bank
+// index and issues the per-channel batches concurrently on the engine
+// pool. It stops at the first parse error or timing violation (for
+// concurrent rounds, the first violation in channel order).
+func (r *Replayer) ReplayScanner(sc *Scanner) error {
+	shards := make([][]Command, len(r.sims))
+	issue := func(i int, cmds []Command) (struct{}, error) {
+		return struct{}{}, r.sims[i].Run(cmds)
+	}
+	for {
+		for i := range shards {
+			shards[i] = shards[i][:0]
+		}
+		n := 0
+		for n < replayBatch && sc.Scan() {
+			c := sc.Command()
+			ch := 0
+			if r.banks > 0 {
+				ch = c.Bank / r.banks
+			}
+			if c.Bank < 0 || ch >= len(r.sims) {
+				return &TimingError{c, fmt.Sprintf("bank %d outside the %d-channel x %d-bank system",
+					c.Bank, len(r.sims), r.banks)}
+			}
+			c.Bank -= ch * r.banks
+			shards[ch] = append(shards[ch], c)
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		if _, err := engine.Map(shards, issue, r.opts); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Replay streams trace text from rd through the channels.
+func (r *Replayer) Replay(rd io.Reader) error {
+	return r.ReplayScanner(NewScanner(rd))
+}
+
+// Now returns the latest slot any channel has reached.
+func (r *Replayer) Now() int64 {
+	var n int64
+	for _, s := range r.sims {
+		if s.Now() > n {
+			n = s.Now()
+		}
+	}
+	return n
+}
+
+// Result closes the replay at endSlot (extended to the latest channel's
+// slot if smaller) and merges the per-channel results deterministically:
+// energies, bits and counts sum in channel order over the common
+// duration, rates are recomputed from the merged totals, and the bus
+// utilization averages across the channels (each channel owns a data
+// bus). With one channel the result is exactly Simulator.Result's.
+func (r *Replayer) Result(endSlot int64) Result {
+	if e := r.Now(); endSlot < e {
+		endSlot = e
+	}
+	merged := r.sims[0].Result(endSlot)
+	if len(r.sims) == 1 {
+		return merged
+	}
+	util := merged.BusUtilization
+	for _, s := range r.sims[1:] {
+		cr := s.Result(endSlot)
+		merged.CommandEnergy += cr.CommandEnergy
+		merged.Background += cr.Background
+		merged.Total += cr.Total
+		merged.Bits += cr.Bits
+		for op, n := range cr.Counts {
+			if merged.Counts == nil {
+				merged.Counts = make(map[desc.Op]int64, desc.NumOps)
+			}
+			merged.Counts[op] += n
+		}
+		util += cr.BusUtilization
+	}
+	merged.BusUtilization = util / float64(len(r.sims))
+	merged.AveragePower, merged.AverageCurrent, merged.EnergyPerBit = 0, 0, 0
+	if merged.Duration > 0 {
+		merged.AveragePower = units.Power(float64(merged.Total) / float64(merged.Duration))
+		if v := r.m.D.Electrical.Vdd; v > 0 {
+			merged.AverageCurrent = units.Current(float64(merged.AveragePower) / float64(v))
+		}
+	}
+	if merged.Bits > 0 {
+		merged.EnergyPerBit = units.Energy(float64(merged.Total) / float64(merged.Bits))
+	}
+	return merged
+}
+
+// Replay streams a trace against the model over the given channel/worker
+// configuration and reports the merged result, ending the accounting one
+// burst after the last command (matching Evaluate, so a single-channel
+// replay of a trace equals Evaluate on the materialized commands exactly).
+func Replay(m *core.Model, rd io.Reader, opts ReplayOptions) (Result, error) {
+	r := NewReplayer(m, opts)
+	if err := r.Replay(rd); err != nil {
+		return Result{}, err
+	}
+	return r.Result(r.Now() + int64(m.BurstSlots())), nil
+}
+
+// Interleave merges per-channel traces into one multi-channel trace with
+// global bank indices, ordered by slot (ties resolve in channel order):
+// channel ch's bank b becomes global bank ch*banksPerChannel+b. It is the
+// inverse of the Replayer's sharding and is used to compose multi-channel
+// traces from the single-device workload generators.
+func Interleave(channels [][]Command, banksPerChannel int) []Command {
+	total := 0
+	for _, c := range channels {
+		total += len(c)
+	}
+	out := make([]Command, 0, total)
+	idx := make([]int, len(channels))
+	for len(out) < total {
+		best := -1
+		var bestSlot int64
+		for ch := range channels {
+			i := idx[ch]
+			if i >= len(channels[ch]) {
+				continue
+			}
+			if s := channels[ch][i].Slot; best < 0 || s < bestSlot {
+				best, bestSlot = ch, s
+			}
+		}
+		c := channels[best][idx[best]]
+		c.Bank += best * banksPerChannel
+		out = append(out, c)
+		idx[best]++
+	}
+	return out
+}

@@ -52,8 +52,15 @@ type bankState struct {
 	everActive bool
 }
 
+// ringSize is the depth of the activate-history ring buffer. A power of
+// two (for cheap index masking) of at least 4: the tRRD check needs the
+// most recent activate, the tFAW check the 4th-most-recent.
+const ringSize = 8
+
 // Simulator executes a command trace against a model, enforcing timing and
-// accumulating energy.
+// accumulating energy. The Issue hot path is allocation-free: per-op
+// counters and energies live in fixed [desc.NumOps] arrays and the
+// activate history in a fixed ring buffer (see TestIssueZeroAllocs).
 type Simulator struct {
 	m *core.Model
 
@@ -62,13 +69,16 @@ type Simulator struct {
 	burstSlots                             int64
 
 	banks    []bankState
-	actTimes []int64 // rolling activation history for tFAW
-	busUntil int64   // first slot the data bus is free again
-	refUntil int64   // refresh completion
+	actRing  [ringSize]int64 // last ringSize activate slots (circular)
+	actPos   int             // next write position in actRing
+	actCount int64           // total activates issued
+	busUntil int64           // first slot the data bus is free again
+	refUntil int64           // refresh completion
 	now      int64
 
-	counts    map[desc.Op]int64
-	cmdEnergy float64 // accumulated command energy (J)
+	counts    [desc.NumOps]int64
+	opEnergy  [desc.NumOps]float64 // per-op energy, hoisted from the model at New
+	cmdEnergy float64              // accumulated command energy (J)
 	bits      int64
 }
 
@@ -103,7 +113,9 @@ func New(m *core.Model) *Simulator {
 		tRFC:       maxI64(1, toSlots(spec.RefreshCycle)),
 		burstSlots: int64(m.BurstSlots()),
 		banks:      make([]bankState, spec.Banks()),
-		counts:     map[desc.Op]int64{},
+	}
+	for op, e := range m.OpEnergies() {
+		s.opEnergy[op] = float64(e)
 	}
 	for i := range s.banks {
 		s.banks[i].actSlot = math.MinInt64 / 2
@@ -127,6 +139,18 @@ func (s *Simulator) Now() int64 { return s.now }
 // Issue validates and executes one command. Commands must arrive in
 // non-decreasing slot order. On a timing violation the command is rejected
 // with a *TimingError and the simulator state is unchanged.
+//
+// Data-bus contention gates only column commands: at a slot where a
+// previous burst still occupies the data bus (slot < busUntil),
+//
+//   - OpRead and OpWrite are rejected ("data bus busy"),
+//   - OpActivate, OpPrecharge, OpRefresh and OpNop issue normally — they
+//     travel on the command/address bus, which the model treats as
+//     uncontended, and never touch the data bus.
+//
+// These semantics are pinned by TestIssueAtContendedBusSlot. The accept
+// path performs no heap allocations; only a rejection allocates (for its
+// *TimingError).
 func (s *Simulator) Issue(c Command) error {
 	if c.Slot < s.now {
 		return &TimingError{c, fmt.Sprintf("out of order (now at slot %d)", s.now)}
@@ -149,21 +173,23 @@ func (s *Simulator) Issue(c Command) error {
 		if c.Slot < s.refUntil {
 			return &TimingError{c, "tRFC: refresh in progress"}
 		}
-		for _, t := range s.actTimes {
-			if c.Slot < t+s.tRRD {
+		// tRRD binds against the most recent activate only: activates
+		// arrive in slot order, so an older activate can never be the
+		// tighter constraint.
+		if s.actCount > 0 {
+			if t := s.actRing[(s.actPos+ringSize-1)&(ringSize-1)]; c.Slot < t+s.tRRD {
 				return &TimingError{c, fmt.Sprintf("tRRD: activate at %d", t)}
 			}
 		}
-		if s.tFAW > 0 && len(s.actTimes) >= 4 {
-			if w := s.actTimes[len(s.actTimes)-4]; c.Slot < w+s.tFAW {
+		if s.tFAW > 0 && s.actCount >= 4 {
+			if w := s.actRing[(s.actPos+ringSize-4)&(ringSize-1)]; c.Slot < w+s.tFAW {
 				return &TimingError{c, fmt.Sprintf("tFAW: fourth activate at %d", w)}
 			}
 		}
 		b.active, b.row, b.actSlot, b.everActive = true, c.Row, c.Slot, true
-		s.actTimes = append(s.actTimes, c.Slot)
-		if len(s.actTimes) > 8 {
-			s.actTimes = s.actTimes[len(s.actTimes)-8:]
-		}
+		s.actRing[s.actPos] = c.Slot
+		s.actPos = (s.actPos + 1) & (ringSize - 1)
+		s.actCount++
 	case desc.OpRead, desc.OpWrite:
 		if !b.active {
 			return &TimingError{c, "bank not active"}
@@ -204,10 +230,11 @@ func (s *Simulator) Issue(c Command) error {
 		return &TimingError{c, "unknown operation"}
 	}
 	s.now = c.Slot
+	// Every op the switch accepts is in [0, desc.NumOps), so these array
+	// reads are in range. The energy integration is a flat read of the
+	// per-op ledger hoisted from the model at New.
 	s.counts[c.Op]++
-	// Per-command energy integration is an O(1) read of the model's
-	// charge ledger precomputed at Build time.
-	s.cmdEnergy += float64(s.m.OpEnergy(c.Op))
+	s.cmdEnergy += s.opEnergy[c.Op]
 	return nil
 }
 
@@ -219,6 +246,20 @@ func (s *Simulator) Run(cmds []Command) error {
 		}
 	}
 	return nil
+}
+
+// RunStream issues every command the scanner produces, stopping at the
+// first timing violation (*TimingError) or malformed line (*ParseError).
+// The trace streams through the scanner's fixed buffer, so arbitrarily
+// long trace files never need to fit in memory; the energy totals are
+// identical to Run on the equivalent materialized slice.
+func (s *Simulator) RunStream(sc *Scanner) error {
+	for sc.Scan() {
+		if err := s.Issue(sc.Command()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 // Result summarizes the energy accounting of a finished trace.
@@ -238,9 +279,13 @@ type Result struct {
 	// Bits transferred and the resulting energy per bit (0 if no data).
 	Bits         int64
 	EnergyPerBit units.Energy
-	// Counts per operation.
+	// Counts per operation; only operations that occurred have entries,
+	// and a trace that issued no commands leaves Counts nil (reads of a
+	// nil map return zero, so callers may index it unconditionally).
 	Counts map[desc.Op]int64
-	// BusUtilization is the share of slots the data bus carried a burst.
+	// BusUtilization is the share of slots the data bus carried a burst,
+	// clamped to [0, 1] (an endSlot that truncates a final burst would
+	// otherwise overcount the burst's full occupancy).
 	BusUtilization float64
 }
 
@@ -260,10 +305,20 @@ func (s *Simulator) Result(endSlot int64) Result {
 		Background:    units.Energy(bg),
 		Total:         units.Energy(total),
 		Bits:          s.bits,
-		Counts:        map[desc.Op]int64{},
 	}
-	for op, n := range s.counts {
-		r.Counts[op] = n
+	// The counts map is only materialized when something was issued; an
+	// empty trace reports a nil map instead of allocating one.
+	var issued int64
+	for _, n := range s.counts {
+		issued += n
+	}
+	if issued > 0 {
+		r.Counts = make(map[desc.Op]int64, desc.NumOps)
+		for op, n := range s.counts {
+			if n > 0 {
+				r.Counts[desc.Op(op)] = n
+			}
+		}
 	}
 	if dur > 0 {
 		r.AveragePower = units.Power(total / float64(dur))
@@ -276,7 +331,11 @@ func (s *Simulator) Result(endSlot int64) Result {
 	}
 	if endSlot > 0 {
 		burstCmds := s.counts[desc.OpRead] + s.counts[desc.OpWrite]
-		r.BusUtilization = float64(burstCmds*s.burstSlots) / float64(endSlot)
+		u := float64(burstCmds*s.burstSlots) / float64(endSlot)
+		if u > 1 {
+			u = 1
+		}
+		r.BusUtilization = u
 	}
 	return r
 }
@@ -286,3 +345,6 @@ func (s *Simulator) Result(endSlot int64) Result {
 func (s *Simulator) TimingSlots() (tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64) {
 	return s.tRC, s.tRCD, s.tRP, s.tRAS, s.tRRD, s.tFAW, s.burstSlots
 }
+
+// RefreshCycleSlots exposes the resolved tRFC in slots.
+func (s *Simulator) RefreshCycleSlots() int64 { return s.tRFC }

@@ -330,3 +330,252 @@ func TestClosedPageTraceMatchesIDD7Pattern(t *testing.T) {
 	}
 	_ = traceMA
 }
+
+// The Issue accept path is provably allocation-free: per-op counters and
+// energies are fixed arrays and the activate history is a ring buffer.
+func TestIssueZeroAllocs(t *testing.T) {
+	m := model(t)
+	cmds := RandomClosedPage(m, 400, 0.5, 2) // 1200 commands
+	s := New(m)
+	i := 0
+	allocs := testing.AllocsPerRun(1100, func() {
+		if err := s.Issue(cmds[i]); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Issue allocated %.2f times per command, want 0", allocs)
+	}
+}
+
+// tRRD binds against the most recent activate only (activates arrive in
+// slot order, so older history entries can never be the tighter bound).
+func TestTRRDMostRecentActivate(t *testing.T) {
+	m := model(t)
+	// tRRD = 6 on the sample device.
+	prologue := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+		{Slot: 8, Op: desc.OpActivate, Bank: 1, Row: 1},
+	}
+	t.Run("violation names the most recent activate", func(t *testing.T) {
+		s := New(m)
+		if err := s.Run(prologue); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Issue(Command{Slot: 13, Op: desc.OpActivate, Bank: 2, Row: 1})
+		if err == nil {
+			t.Fatal("activate 5 slots after the last one accepted, want tRRD violation")
+		}
+		if !strings.Contains(err.Error(), "tRRD: activate at 8") {
+			t.Errorf("error %q should blame the most recent activate (slot 8)", err)
+		}
+	})
+	t.Run("exactly tRRD after the most recent is legal", func(t *testing.T) {
+		s := New(m)
+		if err := s.Run(prologue); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Issue(Command{Slot: 14, Op: desc.OpActivate, Bank: 2, Row: 1}); err != nil {
+			t.Errorf("activate exactly tRRD after the last rejected: %v", err)
+		}
+	})
+}
+
+// The activate ring buffer survives wrap-around: the 9th+ activates must
+// still see the correct 4th-most-recent entry for tFAW.
+func TestActivateRingWrap(t *testing.T) {
+	m := model(t)
+	// Eight activates at slots 0,8,...,56 (every tFAW boundary is exact),
+	// precharges squeezed in so banks 0 and 1 can re-activate.
+	prologue := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+		{Slot: 8, Op: desc.OpActivate, Bank: 1, Row: 1},
+		{Slot: 16, Op: desc.OpActivate, Bank: 2, Row: 1},
+		{Slot: 24, Op: desc.OpActivate, Bank: 3, Row: 1},
+		{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 1},
+		{Slot: 32, Op: desc.OpActivate, Bank: 4, Row: 1},
+		{Slot: 40, Op: desc.OpActivate, Bank: 5, Row: 1},
+		{Slot: 41, Op: desc.OpPrecharge, Bank: 1, Row: 1},
+		{Slot: 48, Op: desc.OpActivate, Bank: 6, Row: 1},
+		{Slot: 56, Op: desc.OpActivate, Bank: 7, Row: 1},
+	}
+	t.Run("ninth activate at the exact tFAW boundary", func(t *testing.T) {
+		s := New(m)
+		if err := s.Run(prologue); err != nil {
+			t.Fatal(err)
+		}
+		// 4th-most-recent activate is slot 32; 32 + tFAW(32) = 64.
+		if err := s.Issue(Command{Slot: 64, Op: desc.OpActivate, Bank: 0, Row: 2}); err != nil {
+			t.Errorf("ninth activate at exact tFAW boundary rejected: %v", err)
+		}
+	})
+	t.Run("ninth activate one slot early", func(t *testing.T) {
+		s := New(m)
+		if err := s.Run(prologue); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Issue(Command{Slot: 63, Op: desc.OpActivate, Bank: 0, Row: 2})
+		if err == nil || !strings.Contains(err.Error(), "tFAW") {
+			t.Errorf("ninth activate inside the tFAW window: got %v, want tFAW violation", err)
+		}
+	})
+}
+
+// Pin the intended per-op semantics at a slot where the data bus is still
+// carrying a burst: only column commands contend for the data bus;
+// activate, precharge, refresh and nop ride the command bus and issue
+// normally.
+func TestIssueAtContendedBusSlot(t *testing.T) {
+	m := model(t)
+	// Prologue A: read on bank 0 at slot 25 holds the bus over [25, 29).
+	twoBanks := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+		{Slot: 8, Op: desc.OpActivate, Bank: 1, Row: 1},
+		{Slot: 25, Op: desc.OpRead, Bank: 0, Row: 1},
+	}
+	// Prologue B: same but bank 0 only, precharged at 28 so a refresh can
+	// follow while the burst is still in flight.
+	oneBank := []Command{
+		{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+		{Slot: 25, Op: desc.OpRead, Bank: 0, Row: 1},
+		{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 1},
+	}
+	cases := []struct {
+		name     string
+		prologue []Command
+		cmd      Command
+		allowed  bool
+	}{
+		{"read rejected", twoBanks, Command{Slot: 26, Op: desc.OpRead, Bank: 1, Row: 1}, false},
+		{"write rejected", twoBanks, Command{Slot: 26, Op: desc.OpWrite, Bank: 1, Row: 1}, false},
+		{"nop allowed", twoBanks, Command{Slot: 26, Op: desc.OpNop}, true},
+		{"activate allowed", twoBanks, Command{Slot: 26, Op: desc.OpActivate, Bank: 2, Row: 1}, true},
+		{"precharge allowed", twoBanks, Command{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 1}, true},
+		{"refresh allowed", oneBank, Command{Slot: 28, Op: desc.OpRefresh}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New(m)
+			if err := s.Run(c.prologue); err != nil {
+				t.Fatal(err)
+			}
+			err := s.Issue(c.cmd)
+			if c.allowed && err != nil {
+				t.Errorf("%v at contended slot rejected: %v", c.cmd, err)
+			}
+			if !c.allowed {
+				if err == nil {
+					t.Fatalf("%v at contended slot accepted, want bus-busy rejection", c.cmd)
+				}
+				if !strings.Contains(err.Error(), "bus busy") {
+					t.Errorf("error %q should mention the busy data bus", err)
+				}
+			}
+		})
+	}
+}
+
+// Boundary conditions: every timing window is exclusive of its end slot —
+// a command exactly at the boundary is legal, one slot earlier is not.
+func TestTimingBoundaries(t *testing.T) {
+	m := model(t)
+	t.Run("tFAW fifth activate exactly at the window edge", func(t *testing.T) {
+		s := New(m)
+		for b, slot := range []int64{0, 8, 16, 24} {
+			if err := s.Issue(Command{Slot: slot, Op: desc.OpActivate, Bank: b, Row: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// First-of-four at 0, tFAW 32: slot 32 is the first legal slot.
+		if err := s.Issue(Command{Slot: 32, Op: desc.OpActivate, Bank: 4, Row: 1}); err != nil {
+			t.Errorf("fifth activate at exact tFAW edge rejected: %v", err)
+		}
+	})
+	t.Run("activate exactly at refUntil", func(t *testing.T) {
+		s := New(m)
+		if err := s.Issue(Command{Slot: 0, Op: desc.OpRefresh}); err != nil {
+			t.Fatal(err)
+		}
+		tRFC := s.RefreshCycleSlots()
+		if err := s.Issue(Command{Slot: tRFC - 1, Op: desc.OpActivate, Bank: 0, Row: 1}); err == nil {
+			t.Error("activate one slot inside tRFC accepted")
+		}
+		if err := s.Issue(Command{Slot: tRFC, Op: desc.OpActivate, Bank: 0, Row: 1}); err != nil {
+			t.Errorf("activate exactly at refresh completion rejected: %v", err)
+		}
+	})
+	t.Run("precharge exactly at actSlot+tRAS", func(t *testing.T) {
+		s := New(m)
+		if err := s.Issue(Command{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Issue(Command{Slot: 28, Op: desc.OpPrecharge, Bank: 0, Row: 1}); err != nil {
+			t.Errorf("precharge at exact tRAS rejected: %v", err)
+		}
+	})
+	t.Run("same-slot commands to different banks", func(t *testing.T) {
+		s := New(m)
+		cmds := []Command{
+			{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1},
+			{Slot: 11, Op: desc.OpRead, Bank: 0, Row: 1},
+			{Slot: 11, Op: desc.OpActivate, Bank: 1, Row: 3}, // same slot, other bank
+		}
+		if err := s.Run(cmds); err != nil {
+			t.Errorf("same-slot commands to different banks rejected: %v", err)
+		}
+		res := s.Result(50)
+		if res.Counts[desc.OpActivate] != 2 || res.Counts[desc.OpRead] != 1 {
+			t.Errorf("counts after same-slot issue: %v", res.Counts)
+		}
+	})
+}
+
+// A trace that issued nothing reports a nil Counts map (no allocation,
+// and nil-map reads still return zero for every op).
+func TestResultEmptyTraceCounts(t *testing.T) {
+	m := model(t)
+	s := New(m)
+	res := s.Result(100)
+	if res.Counts != nil {
+		t.Errorf("empty trace materialized a counts map: %v", res.Counts)
+	}
+	if res.Counts[desc.OpActivate] != 0 {
+		t.Error("nil counts map read nonzero")
+	}
+	if res.CommandEnergy != 0 || res.Bits != 0 || res.BusUtilization != 0 {
+		t.Errorf("empty trace accounted activity: %+v", res)
+	}
+	if res.Background <= 0 {
+		t.Error("empty trace over 100 slots should still accumulate background energy")
+	}
+}
+
+// BusUtilization stays in [0, 1] even when endSlot truncates the final
+// burst's occupancy window.
+func TestBusUtilizationClamped(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	d.Spec.RowToColumnDelay = 0 // tRCD resolves to the 1-slot floor
+	m, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	if err := s.Issue(Command{Slot: 0, Op: desc.OpActivate, Bank: 0, Row: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Issue(Command{Slot: 1, Op: desc.OpRead, Bank: 0, Row: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The 4-slot burst runs [1, 5) but the accounting ends at slot 1: the
+	// raw ratio would be 4/1 = 4.
+	res := s.Result(1)
+	if res.BusUtilization != 1 {
+		t.Errorf("truncated burst: utilization %v, want clamped to 1", res.BusUtilization)
+	}
+	// And a full accounting window reports the true sub-1 share.
+	res = s.Result(8)
+	if res.BusUtilization != 0.5 {
+		t.Errorf("full window: utilization %v, want 0.5", res.BusUtilization)
+	}
+}

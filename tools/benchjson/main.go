@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON summary on stdout, so benchmark runs leave a machine-readable
+// perf trajectory (see the `bench` Makefile target, which snapshots the
+// trace/engine benchmarks into BENCH_trace.json).
+//
+// Every value/unit pair a benchmark line reports becomes a metrics entry,
+// so -benchmem columns (B/op, allocs/op) and custom b.ReportMetric units
+// (cmds/s, MB/s, ...) come through without special cases:
+//
+//	{
+//	  "benchmarks": [
+//	    {
+//	      "name": "BenchmarkTraceIssue-8",
+//	      "iterations": 28043592,
+//	      "metrics": {"ns/op": 42.8, "allocs/op": 0, "cmds/s": 2.3e7}
+//	    }
+//	  ]
+//	}
+//
+// With -echo the input is copied to stderr, keeping the human-readable
+// output visible when benchjson sits at the end of a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	echo := flag.Bool("echo", false, "copy input lines to stderr")
+	flag.Parse()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out struct {
+		Benchmarks []benchmark `json:"benchmarks"`
+	}
+	for in.Scan() {
+		line := in.Text()
+		if *echo {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		b, ok := parseLine(line)
+		if ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName-8   123456   987.6 ns/op   12 B/op   3 allocs/op
+func parseLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
