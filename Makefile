@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-all check
+.PHONY: all build vet test race bench bench-all check serve-smoke fuzz-short
 
 all: check
 
@@ -16,16 +17,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Trace + engine benchmarks, snapshotted into BENCH_trace.json (ns/op,
-# allocs/op, cmds/s, MB/s) so future PRs have a perf trajectory to
-# compare against. The human-readable output still lands on stderr.
+# Trace + engine + server benchmarks, snapshotted into BENCH_trace.json
+# (ns/op, allocs/op, cmds/s, MB/s, req/s) so future PRs have a perf
+# trajectory to compare against. The human-readable output still lands
+# on stderr.
 bench:
-	$(GO) test -run '^$$' -bench 'Trace|Sweep' -benchmem . \
+	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server' -benchmem . \
 		| $(GO) run ./tools/benchjson -echo > BENCH_trace.json
 
 # Every benchmark in the repo (the full reproduction log).
 bench-all:
 	$(GO) test -bench=. -benchmem .
 
+# Black-box smoke of the HTTP service: builds dramserved, starts it on a
+# random port, exercises every endpoint (including a 429 overload case),
+# then SIGTERMs it and checks the graceful drain.
+serve-smoke:
+	$(GO) run ./tools/servesmoke
+
+# Short fuzz passes over the two hand-written parsers; go's fuzzer runs
+# one target per invocation, hence two lines. Override FUZZTIME for a
+# longer hunt.
+fuzz-short:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
+	$(GO) test -fuzz FuzzTraceScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+
 # The full gate: everything CI (and a reviewer) expects to be green.
-check: build vet race
+check: build vet race serve-smoke fuzz-short

@@ -14,11 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 
 	"drampower/internal/circuits"
+	"drampower/internal/cli"
 	"drampower/internal/core"
 	"drampower/internal/desc"
 )
@@ -40,7 +40,7 @@ func main() {
 
 	d, err := load(*file)
 	if err != nil {
-		fatal(err)
+		cli.FatalInput("drampower", *file, err)
 	}
 	if *emit {
 		fmt.Print(desc.Format(d))
@@ -49,14 +49,14 @@ func main() {
 	if *pattern != "" {
 		loop, err := parsePattern(*pattern)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("drampower", err)
 		}
 		d.Pattern = desc.Pattern{Loop: loop}
 	}
 
 	m, err := core.Build(d)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("drampower", err)
 	}
 	report(m, *verbose)
 }
@@ -161,9 +161,4 @@ func report(m *core.Model, verbose bool) {
 				100*float64(p)/float64(res.Power))
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drampower:", err)
-	os.Exit(1)
 }

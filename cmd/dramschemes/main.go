@@ -16,8 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"drampower/internal/cli"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
 	"drampower/internal/scaling"
@@ -39,12 +39,12 @@ func main() {
 		var err error
 		d, err = desc.ParseFile(*file)
 		if err != nil {
-			fatal(err)
+			cli.FatalInput("dramschemes", *file, err)
 		}
 	case *node != 0:
 		n, err := scaling.NodeFor(*node)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dramschemes", err)
 		}
 		d = n.Description()
 	default:
@@ -53,7 +53,7 @@ func main() {
 
 	res, err := schemes.EvaluateOpts(d, batch)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("dramschemes", err)
 	}
 	fmt.Printf("Section V: power reduction schemes on %s\n", d.Name)
 	fmt.Printf("  %-36s %12s %8s %11s %8s %8s\n",
@@ -70,9 +70,4 @@ func main() {
 			fmt.Printf("  %36s   %s (%s)\n", "", r.Notes, r.Source)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dramschemes:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,77 @@
+// Command dramserved runs the DRAM power model as a long-lived HTTP
+// service: descriptors and traces go in, JSON power/energy accounting
+// comes out, with a model cache so repeated evaluations of the same
+// device skip the build, a bounded admission queue so overload degrades
+// into 429s instead of memory growth, and Prometheus metrics built in.
+//
+// Usage:
+//
+//	dramserved                         # serve on 127.0.0.1:8457
+//	dramserved -addr :0                # any free port (printed on stdout)
+//	dramserved -max-inflight 8 -queue-wait 100ms -timeout 30s
+//
+// Endpoints: POST /v1/evaluate, /v1/sweep, /v1/schemes, /v1/trace;
+// GET /v1/roadmap, /metrics, /healthz, /readyz. See the README "Serving"
+// section for a worked curl session.
+//
+// On SIGINT/SIGTERM the server stops accepting work, /readyz flips to
+// 503, in-flight requests drain (up to -drain), and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drampower/internal/cli"
+	"drampower/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8457", "listen address (host:port; port 0 picks a free port)")
+	cacheSize := flag.Int("cache", 128, "model cache capacity (entries)")
+	maxInflight := flag.Int("max-inflight", 64, "maximum concurrently executing /v1/* requests")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "how long an over-limit request waits for a slot before 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request timeout")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain limit")
+	maxBody := flag.Int64("max-body", 1<<20, "descriptor request body limit (bytes)")
+	maxTrace := flag.Int64("max-trace", 256<<20, "trace upload limit (bytes)")
+	workers := flag.Int("workers", 0, "shared evaluation worker pool size (0 = one per CPU)")
+	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	flag.Parse()
+
+	opts := server.Options{
+		CacheSize:          *cacheSize,
+		MaxInflight:        *maxInflight,
+		QueueWait:          *queueWait,
+		RequestTimeout:     *timeout,
+		MaxDescriptorBytes: *maxBody,
+		MaxTraceBytes:      *maxTrace,
+		Workers:            *workers,
+	}
+	if !*quiet {
+		opts.AccessLog = os.Stderr
+	}
+	s := server.New(opts)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatal("dramserved", err)
+	}
+	// The resolved address on stdout is the service's one line of
+	// plain-text output; tooling (make serve-smoke) parses it to find a
+	// randomly assigned port.
+	fmt.Printf("dramserved listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.Serve(ctx, ln, *drain); err != nil {
+		cli.Fatal("dramserved", err)
+	}
+}

@@ -14,9 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
+	"drampower/internal/cli"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
 	"drampower/internal/scaling"
@@ -40,13 +40,13 @@ func main() {
 	case *file != "":
 		d, err := desc.ParseFile(*file)
 		if err != nil {
-			fatal(err)
+			cli.FatalInput("dramsweep", *file, err)
 		}
 		sweepOne(d.Name, d, false)
 	case *node != 0:
 		n, err := scaling.NodeFor(*node)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dramsweep", err)
 		}
 		sweepOne(n.Name(), n.Description(), *top10)
 	case *top10:
@@ -55,7 +55,7 @@ func main() {
 		for _, nm := range paperNodes {
 			n, err := scaling.NodeFor(nm)
 			if err != nil {
-				fatal(err)
+				cli.Fatal("dramsweep", err)
 			}
 			sweepOne(n.Name(), n.Description(), false)
 		}
@@ -65,7 +65,7 @@ func main() {
 func sweepOne(name string, d *desc.Description, top10 bool) {
 	res, err := sensitivity.SweepOpts(d, batch)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("dramsweep", err)
 	}
 	if top10 {
 		res = sensitivity.Top(res, 10)
@@ -90,11 +90,11 @@ func tableIII() {
 	for _, nm := range paperNodes {
 		n, err := scaling.NodeFor(nm)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dramsweep", err)
 		}
 		res, err := sensitivity.SweepOpts(n.Description(), batch)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dramsweep", err)
 		}
 		c := column{name: n.Name()}
 		for _, r := range sensitivity.Top(res, 10) {
@@ -118,9 +118,4 @@ func tableIII() {
 		}
 		fmt.Println()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dramsweep:", err)
-	os.Exit(1)
 }

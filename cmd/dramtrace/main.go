@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"drampower"
+	"drampower/internal/cli"
 	"drampower/internal/trace"
 )
 
@@ -44,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
-		fatal(fmt.Errorf("bad -format %q (want text or json)", *format))
+		cli.Fatalf("dramtrace", "bad -format %q (want text or json)", *format)
 	}
 
 	d := drampower.Sample1GbDDR3()
@@ -52,17 +53,17 @@ func main() {
 		var err error
 		d, err = drampower.ParseFile(*descFile)
 		if err != nil {
-			fatal(err)
+			cli.FatalInput("dramtrace", *descFile, err)
 		}
 	}
 	m, err := drampower.Build(d)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("dramtrace", err)
 	}
 
 	if *gen != "" {
 		if err := generate(m, *gen, *channels, *n, *readShare, *seed); err != nil {
-			fatal(err)
+			cli.Fatal("dramtrace", err)
 		}
 		return
 	}
@@ -72,7 +73,7 @@ func main() {
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dramtrace", err)
 		}
 		defer f.Close()
 		in, name = f, flag.Arg(0)
@@ -82,7 +83,7 @@ func main() {
 	start := time.Now()
 	res, err := drampower.ReplayTrace(m, cr, drampower.ReplayOptions{Channels: *channels, Workers: *workers})
 	if err != nil {
-		fatal(fmt.Errorf("%s: %w", name, err))
+		cli.FatalInput("dramtrace", name, err)
 	}
 	report(res, cr.n, *channels, *workers, time.Since(start), *format)
 }
@@ -181,7 +182,7 @@ func report(res drampower.TraceResult, bytes int64, channels, workers int, wall 
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(o); err != nil {
-			fatal(err)
+			cli.Fatal("dramtrace", err)
 		}
 		return
 	}
@@ -196,9 +197,4 @@ func report(res drampower.TraceResult, bytes int64, channels, workers int, wall 
 		o.Bits, o.EnergyPerBitPJ, o.BusUtilization)
 	fmt.Printf("  throughput:      %.2f Mcmd/s, %.1f MB/s (%.3f s wall)\n",
 		o.CommandsPerSecond/1e6, o.MBPerSecond, o.WallSeconds)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dramtrace:", err)
-	os.Exit(1)
 }

@@ -14,8 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"drampower/internal/cli"
 	"drampower/internal/engine"
 	"drampower/internal/scaling"
 )
@@ -127,14 +127,15 @@ func timingTrends() {
 }
 
 func energyTrends() {
+	// Build every node before printing, so a failure exits without
+	// leaving a half-emitted table on stdout.
+	pts, err := scaling.EnergyTrend(batch)
+	if err != nil {
+		cli.Fatal("dramtrends", err)
+	}
 	fmt.Println("Figure 13: energy consumption and die area trends")
 	fmt.Printf("  %-18s %6s %10s %12s %10s\n",
 		"device", "year", "die [mm²]", "e/bit [pJ]", "gen ratio")
-	pts, err := scaling.EnergyTrend(batch)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dramtrends:", err)
-		os.Exit(1)
-	}
 	for _, p := range pts {
 		ratio := "-"
 		if p.GenRatio > 0 {

@@ -15,9 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
+	"drampower/internal/cli"
 	"drampower/internal/datasheet"
 	"drampower/internal/engine"
 )
@@ -45,8 +45,7 @@ func main() {
 func run(std datasheet.Standard, title string, vendors bool) {
 	rows, err := datasheet.CompareOpts(std, batch)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dramverify:", err)
-		os.Exit(1)
+		cli.Fatal("dramverify", err)
 	}
 	fmt.Println(title)
 	if vendors {

@@ -38,6 +38,7 @@ import (
 	"drampower/internal/scaling"
 	"drampower/internal/schemes"
 	"drampower/internal/sensitivity"
+	"drampower/internal/server"
 	"drampower/internal/trace"
 	"drampower/internal/units"
 )
@@ -307,3 +308,27 @@ func WriteTrace(w io.Writer, cmds []Command) error { return trace.WriteTrace(w, 
 func InterleaveChannels(channels [][]Command, banksPerChannel int) []Command {
 	return trace.Interleave(channels, banksPerChannel)
 }
+
+// Re-exported serving types: the HTTP model-evaluation service behind the
+// dramserved binary (see internal/server).
+type (
+	// Server is the HTTP service: JSON evaluation endpoints over a
+	// model cache, bounded admission queue and built-in metrics.
+	Server = server.Server
+	// ServerOptions configures cache size, admission limits, timeouts,
+	// body limits, worker pool and access logging; the zero value
+	// serves with production defaults.
+	ServerOptions = server.Options
+)
+
+// NewServer creates the HTTP model-evaluation service. Mount it with
+// Handler(), run it with Serve(ctx, listener, drainTimeout), and release
+// its worker pool with Close(). Responses are bit-identical to the
+// corresponding direct library calls.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// ModelKey derives the server's model-cache key for a description: the
+// SHA-256 hex of the canonical Format(d) rendering. POST /v1/evaluate
+// returns it as model_key, and POST /v1/trace?model=<key> replays traces
+// against the cached model.
+func ModelKey(d *Description) string { return server.DescriptorKey(d) }

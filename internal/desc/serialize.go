@@ -3,6 +3,7 @@ package desc
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -200,28 +201,62 @@ func sizeList(m map[string]units.Length) string {
 
 // Precise (non-rounding) formatters: serialization must round-trip exactly,
 // so these use full float precision in fixed convenient units.
+//
+// Exactness is subtle: the parser reconstructs the SI value from the
+// printed quotient with its own float rounding (sometimes two roundings,
+// as for fF/um which multiplies by 1e-15 and then divides by 1e-6), so
+// the naive division here can land one ulp away from a quotient that
+// reproduces the stored value bit-exactly. exactQuot nudges the quotient
+// by a few ulps until the parse-side reconstruction matches, which makes
+// Format a true inverse of Parse — and the canonical form a fixed point —
+// whenever the stored value was itself produced by parsing.
+func exactQuot(v, div float64, recon func(float64) float64) float64 {
+	q := v / div
+	if recon(q) == v {
+		return q
+	}
+	for _, dir := range [...]float64{math.Inf(1), math.Inf(-1)} {
+		p := q
+		for i := 0; i < 4; i++ {
+			p = math.Nextafter(p, dir)
+			if recon(p) == v {
+				return p
+			}
+		}
+	}
+	return q
+}
+
 func lenStr(l units.Length) string {
-	return fmt.Sprintf("%gnm", float64(l)/units.Nano)
+	q := exactQuot(float64(l), units.Nano, func(q float64) float64 { return q * units.Nano })
+	return fmt.Sprintf("%gnm", q)
 }
 
 func capStr(c units.Capacitance) string {
-	return fmt.Sprintf("%gfF", float64(c)/units.Femto)
+	q := exactQuot(float64(c), units.Femto, func(q float64) float64 { return q * units.Femto })
+	return fmt.Sprintf("%gfF", q)
 }
 
 func cplStr(c units.CapacitancePerLength) string {
-	return fmt.Sprintf("%gfF/um", float64(c)/(units.Femto/units.Micro))
+	// The parser computes (q fF) / (1 um) with two separate roundings.
+	q := exactQuot(float64(c), units.Femto/units.Micro,
+		func(q float64) float64 { return (q * units.Femto) / units.Micro })
+	return fmt.Sprintf("%gfF/um", q)
 }
 
 func voltStr(v units.Voltage) string { return fmt.Sprintf("%gV", float64(v)) }
 
 func freqStr(f units.Frequency) string {
-	return fmt.Sprintf("%gMHz", float64(f)/units.Mega)
+	q := exactQuot(float64(f), units.Mega, func(q float64) float64 { return q * units.Mega })
+	return fmt.Sprintf("%gMHz", q)
 }
 
 func rateStr(r units.DataRate) string {
-	return fmt.Sprintf("%gMbps", float64(r)/units.Mega)
+	q := exactQuot(float64(r), units.Mega, func(q float64) float64 { return q * units.Mega })
+	return fmt.Sprintf("%gMbps", q)
 }
 
 func durStr(d units.Duration) string {
-	return fmt.Sprintf("%gns", float64(d)/units.Nano)
+	q := exactQuot(float64(d), units.Nano, func(q float64) float64 { return q * units.Nano })
+	return fmt.Sprintf("%gns", q)
 }

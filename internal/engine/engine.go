@@ -35,6 +35,63 @@ type Options struct {
 	// runtime.NumCPU(). One worker reproduces the serial evaluation
 	// exactly (same order, same allocations per job).
 	Workers int
+	// Pool, when set, executes the jobs on a shared long-lived worker
+	// pool instead of spawning per-call goroutines. A long-running
+	// process (the dramserved server) creates one Pool at startup and
+	// threads it through every batch call, so concurrent requests share
+	// one bounded set of CPU workers instead of multiplying goroutines.
+	// Workers == 1 still forces the serial fast path; otherwise Workers
+	// is ignored when Pool is set (the pool's size bounds parallelism).
+	Pool *Pool
+}
+
+// Pool is a fixed set of long-lived workers shared across many Run/Map
+// calls, typically across concurrent server requests. Jobs from separate
+// calls interleave on the same workers, which caps the process's total
+// evaluation parallelism at the pool size regardless of request
+// concurrency. Jobs must not themselves call Run/Map on the same pool:
+// a job waiting for pool capacity from inside a pool worker can deadlock.
+type Pool struct {
+	jobs chan func()
+	size int
+}
+
+// NewPool starts a pool of the given size (<= 0 selects runtime.NumCPU()).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.NumCPU()
+	}
+	p := &Pool{jobs: make(chan func()), size: size}
+	for i := 0; i < size; i++ {
+		go func() {
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the workers after the queued jobs finish. Run calls in
+// flight must have completed; submitting after Close panics.
+func (p *Pool) Close() { close(p.jobs) }
+
+// run executes the jobs on the shared workers and blocks until all are
+// done. Result order is by job index, as in Run.
+func (p *Pool) run(n int, exec func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.jobs <- func() {
+			defer wg.Done()
+			exec(i)
+		}
+	}
+	wg.Wait()
 }
 
 // workers resolves the pool size for n jobs.
@@ -68,6 +125,10 @@ func Run[T any](jobs []func() (T, error), opts Options) ([]T, error) {
 		for i, job := range jobs {
 			results[i], errs[i] = job()
 		}
+	} else if opts.Pool != nil {
+		opts.Pool.run(len(jobs), func(i int) {
+			results[i], errs[i] = jobs[i]()
+		})
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -126,5 +127,92 @@ func TestRunSerialMatchesParallel(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Errorf("serial[%d]=%v parallel[%d]=%v", i, serial[i], i, parallel[i])
 		}
+	}
+}
+
+func TestPoolRunMatchesSerial(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	jobs := make([]func() (float64, error), 57)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (float64, error) { return float64(i) * 0.5, nil }
+	}
+	serial, err1 := Run(jobs, Options{Workers: 1})
+	pooled, err2 := Run(jobs, Options{Pool: pool})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Errorf("serial[%d]=%v pooled[%d]=%v", i, serial[i], i, pooled[i])
+		}
+	}
+}
+
+func TestPoolSharedAcrossConcurrentCalls(t *testing.T) {
+	// Many concurrent Run calls share one pool; every call still gets
+	// complete, ordered results and first-error semantics.
+	pool := NewPool(3)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	const callers = 16
+	errCh := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := Map(make([]int, 25), func(i int, _ int) (int, error) {
+				if c == 7 && i == 13 {
+					return 0, errors.New("boom")
+				}
+				return c*100 + i, nil
+			}, Options{Pool: pool})
+			if c == 7 {
+				if err == nil || err.Error() != "boom" {
+					errCh <- fmt.Errorf("caller 7: err = %v, want boom", err)
+					return
+				}
+			} else if err != nil {
+				errCh <- fmt.Errorf("caller %d: unexpected err %v", c, err)
+				return
+			}
+			for i, v := range out {
+				if c == 7 && i == 13 {
+					if v != 0 {
+						errCh <- fmt.Errorf("caller 7 slot 13 = %d, want zero value", v)
+						return
+					}
+					continue
+				}
+				if v != c*100+i {
+					errCh <- fmt.Errorf("caller %d slot %d = %d", c, i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestPoolWorkersOneStaysSerial(t *testing.T) {
+	// Workers == 1 must bypass the pool entirely: jobs run on the caller's
+	// goroutine even when a pool is supplied.
+	pool := NewPool(2)
+	defer pool.Close()
+	caller := make(chan struct{})
+	done := false
+	jobs := []func() (int, error){
+		func() (int, error) { done = true; close(caller); return 1, nil },
+	}
+	out, err := Run(jobs, Options{Workers: 1, Pool: pool})
+	<-caller
+	if err != nil || out[0] != 1 || !done {
+		t.Fatalf("serial-with-pool run: out=%v err=%v done=%v", out, err, done)
 	}
 }

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/metrics"
+)
+
+// DescriptorKey derives the model-cache key for a description: the
+// SHA-256 of its canonical rendering (desc.Format). Because Format is a
+// normal form — Parse(Format(d)) == d, field order and spacing fixed —
+// any two descriptor texts that parse to the same description share a
+// key, so whitespace or comment differences still hit the cache. The key
+// doubles as the public model handle: /v1/evaluate returns it and
+// /v1/trace accepts it, so clients replay traces against a model that is
+// already hot without re-uploading the descriptor.
+func DescriptorKey(d *desc.Description) string {
+	sum := sha256.Sum256([]byte(desc.Format(d)))
+	return hex.EncodeToString(sum[:])
+}
+
+// modelCache is a concurrency-safe LRU of built models keyed by
+// DescriptorKey. Hits skip core.Build entirely (models are immutable
+// after Build and safe for concurrent readers); concurrent misses on the
+// same key build once and share the result (per-entry sync.Once), so a
+// thundering herd of identical descriptors costs one build.
+type modelCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions, builds *metrics.Counter
+	size                            *metrics.Gauge
+}
+
+// cacheEntry is one cached (or in-flight) build.
+type cacheEntry struct {
+	key   string
+	once  sync.Once
+	model *core.Model
+	err   error
+}
+
+// newModelCache creates a cache holding at most capacity models
+// (capacity < 1 is clamped to 1) with its counters registered in reg.
+func newModelCache(capacity int, reg *metrics.Registry) *modelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &modelCache{
+		cap:       capacity,
+		ll:        list.New(),
+		entries:   map[string]*list.Element{},
+		hits:      reg.Counter("dramserved_model_cache_hits_total", "", "Model cache hits."),
+		misses:    reg.Counter("dramserved_model_cache_misses_total", "", "Model cache misses."),
+		evictions: reg.Counter("dramserved_model_cache_evictions_total", "", "Models evicted from the cache."),
+		builds:    reg.Counter("dramserved_model_builds_total", "", "core.Build invocations."),
+		size:      reg.Gauge("dramserved_model_cache_entries", "", "Models currently cached."),
+	}
+}
+
+// get returns the model for key, building it with build on a miss. The
+// build runs outside the cache lock; other goroutines requesting the same
+// key wait for it rather than building again. A failed build is not
+// cached: its entry is removed so the key can be retried, and every
+// waiter receives the same error.
+func (c *modelCache) get(key string, build func() (*core.Model, error)) (*core.Model, error) {
+	c.mu.Lock()
+	if elem, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(elem)
+		e := elem.Value.(*cacheEntry)
+		c.hits.Inc()
+		c.mu.Unlock()
+		// A hit on an entry still building waits for the builder.
+		e.once.Do(func() {})
+		return e.model, e.err
+	}
+	c.misses.Inc()
+	e := &cacheEntry{key: key}
+	elem := c.ll.PushFront(e)
+	c.entries[key] = elem
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(int64(c.ll.Len()))
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		c.builds.Inc()
+		e.model, e.err = build()
+	})
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == elem {
+			c.ll.Remove(elem)
+			delete(c.entries, key)
+			c.size.Set(int64(c.ll.Len()))
+		}
+		c.mu.Unlock()
+	}
+	return e.model, e.err
+}
+
+// peek returns the cached model for key without building, or nil. It
+// counts as a cache hit (and refreshes recency) only when present.
+func (c *modelCache) peek(key string) *core.Model {
+	c.mu.Lock()
+	elem, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	c.ll.MoveToFront(elem)
+	e := elem.Value.(*cacheEntry)
+	c.hits.Inc()
+	c.mu.Unlock()
+	e.once.Do(func() {})
+	if e.err != nil {
+		return nil
+	}
+	return e.model
+}
+
+// len reports the current entry count.
+func (c *modelCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// keys returns the cached keys from most to least recently used (for
+// eviction-order tests).
+func (c *modelCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for elem := c.ll.Front(); elem != nil; elem = elem.Next() {
+		out = append(out, elem.Value.(*cacheEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/metrics"
+)
+
+// variant returns the sample description with a distinguishing name, so
+// each i yields a distinct cache key but an equally buildable device.
+func variant(i int) *desc.Description {
+	d := desc.Sample1GbDDR3()
+	d.Name = fmt.Sprintf("cache-test-%d", i)
+	return d
+}
+
+func buildVariant(i int) func() (*core.Model, error) {
+	return func() (*core.Model, error) { return core.Build(variant(i)) }
+}
+
+func TestDescriptorKeyCanonical(t *testing.T) {
+	a := desc.Sample1GbDDR3()
+	b, err := desc.ParseString(desc.Format(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DescriptorKey(a) != DescriptorKey(b) {
+		t.Fatal("round-tripped description produced a different cache key")
+	}
+	b.Name = "other"
+	if DescriptorKey(a) == DescriptorKey(b) {
+		t.Fatal("distinct descriptions share a cache key")
+	}
+	if len(DescriptorKey(a)) != 64 {
+		t.Fatalf("key %q is not hex SHA-256", DescriptorKey(a))
+	}
+}
+
+func TestCacheHitSkipsBuild(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newModelCache(4, reg)
+	key := DescriptorKey(variant(0))
+	m1, err := c.get(key, buildVariant(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.get(key, func() (*core.Model, error) {
+		t.Fatal("build called on a cache hit")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("hit returned a different model instance")
+	}
+	if got := c.builds.Value(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+	if c.hits.Value() != 1 || c.misses.Value() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.hits.Value(), c.misses.Value())
+	}
+}
+
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newModelCache(2, metrics.NewRegistry())
+	k := make([]string, 3)
+	for i := 0; i < 2; i++ {
+		k[i] = DescriptorKey(variant(i))
+		if _, err := c.get(k[i], buildVariant(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 0 so 1 becomes least recently used.
+	if m := c.peek(k[0]); m == nil {
+		t.Fatal("peek missed a cached model")
+	}
+	k[2] = DescriptorKey(variant(2))
+	if _, err := c.get(k[2], buildVariant(2)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.keys()
+	want := []string{k[2], k[0]} // most recent first; 1 evicted
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("keys after eviction = %v, want %v", got, want)
+	}
+	if c.peek(k[1]) != nil {
+		t.Fatal("evicted model still served")
+	}
+	if c.evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions.Value())
+	}
+}
+
+func TestCacheFailedBuildNotCached(t *testing.T) {
+	c := newModelCache(4, metrics.NewRegistry())
+	boom := errors.New("boom")
+	if _, err := c.get("bad", func() (*core.Model, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.len() != 0 {
+		t.Fatal("failed build left a cache entry")
+	}
+	// The key is retryable and a subsequent success is cached.
+	m, err := c.get("bad", buildVariant(9))
+	if err != nil || m == nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheConcurrentHitMissEviction(t *testing.T) {
+	// Hammer a capacity-4 cache with 8 distinct keys from 16 goroutines:
+	// constant hits, misses and evictions racing. Run under -race this
+	// exercises the locking; the invariants below catch logic breaks.
+	reg := metrics.NewRegistry()
+	c := newModelCache(4, reg)
+	const workers = 16
+	const iters = 50
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = DescriptorKey(variant(i))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx := (w + i) % len(keys)
+				m, err := c.get(keys[idx], buildVariant(idx))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := m.D.Name; got != fmt.Sprintf("cache-test-%d", idx) {
+					errCh <- fmt.Errorf("key %d returned model %q", idx, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := c.len(); got != 4 {
+		t.Fatalf("len = %d, want capacity 4", got)
+	}
+	total := c.hits.Value() + c.misses.Value()
+	if total != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d", total, workers*iters)
+	}
+	// Every miss creates one entry whose creator performs the build;
+	// hits (even on an in-flight entry) never build.
+	if c.builds.Value() != c.misses.Value() {
+		t.Fatalf("builds %d != misses %d", c.builds.Value(), c.misses.Value())
+	}
+}
+
+func TestCacheConcurrentSameKeyBuildsOnce(t *testing.T) {
+	c := newModelCache(4, metrics.NewRegistry())
+	key := DescriptorKey(variant(0))
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	models := make([]*core.Model, 12)
+	for i := range models {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m, err := c.get(key, buildVariant(0))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = m
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := c.builds.Value(); got != 1 {
+		t.Fatalf("concurrent same-key gets performed %d builds, want 1", got)
+	}
+	for i := 1; i < len(models); i++ {
+		if models[i] != models[0] {
+			t.Fatal("goroutines received different model instances")
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/engine"
+	"drampower/internal/scaling"
+	"drampower/internal/schemes"
+	"drampower/internal/sensitivity"
+	"drampower/internal/trace"
+)
+
+// errorResponse is the uniform error body. Parse failures carry the
+// 1-based input position, mirroring the CLI diagnostics.
+type errorResponse struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeParseAwareError maps an evaluation error to a response: positioned
+// parse errors become 400 with line/col, timeouts 504, body-size limits
+// 413, anything else the provided fallback status.
+func writeParseAwareError(w http.ResponseWriter, err error, fallback int) {
+	var dpe *desc.ParseError
+	if errors.As(err, &dpe) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: dpe.Line, Col: dpe.Col})
+		return
+	}
+	var tpe *trace.ParseError
+	if errors.As(err, &tpe) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: tpe.Line, Col: tpe.Col})
+		return
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		return
+	}
+	writeError(w, fallback, err.Error())
+}
+
+// writeJSON marshals v with a trailing newline. Encoding is deterministic
+// (struct order fixed, map keys sorted by encoding/json), which is what
+// lets tests assert byte-identical responses across cache hits/misses.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// readDescriptor reads and parses the request body as descriptor text.
+// An empty body selects the built-in 1 Gb DDR3 sample (handy for smoke
+// tests and examples). The bool result reports success; on failure the
+// response has already been written.
+func (s *Server) readDescriptor(w http.ResponseWriter, r *http.Request) (*desc.Description, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxDescriptorBytes))
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return nil, false
+	}
+	if strings.TrimSpace(string(body)) == "" {
+		return desc.Sample1GbDDR3(), true
+	}
+	d, err := desc.ParseString(string(body))
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return nil, false
+	}
+	return d, true
+}
+
+// checkCtx reports whether the request is still live, answering 504 when
+// its deadline already expired (no point burning CPU on a dead request).
+func checkCtx(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		return false
+	}
+	return true
+}
+
+// EvaluateResponse is the POST /v1/evaluate body: the library's
+// Build+Evaluate results plus the model's cache key, which /v1/trace
+// accepts to replay traces against an already-hot model.
+type EvaluateResponse struct {
+	ModelKey     string          `json:"model_key"`
+	Name         string          `json:"name"`
+	DieAreaMM2   float64         `json:"die_area_mm2"`
+	BitsPerBurst int             `json:"bits_per_burst"`
+	Pattern      string          `json:"pattern"`
+	IDDMA        IDDResponse     `json:"idd_ma"`
+	Result       PatternResponse `json:"result"`
+}
+
+// IDDResponse reports the datasheet currents in milliamps.
+type IDDResponse struct {
+	IDD0  float64 `json:"idd0"`
+	IDD2N float64 `json:"idd2n"`
+	IDD2P float64 `json:"idd2p"`
+	IDD3N float64 `json:"idd3n"`
+	IDD4R float64 `json:"idd4r"`
+	IDD4W float64 `json:"idd4w"`
+	IDD5  float64 `json:"idd5"`
+	IDD7  float64 `json:"idd7"`
+}
+
+// PatternResponse is core.PatternResult in JSON-friendly SI scalars.
+type PatternResponse struct {
+	BackgroundW    float64            `json:"background_w"`
+	CommandW       float64            `json:"command_w"`
+	PowerW         float64            `json:"power_w"`
+	CurrentA       float64            `json:"current_a"`
+	BitsPerLoop    int                `json:"bits_per_loop"`
+	EnergyPerBitPJ float64            `json:"energy_per_bit_pj"`
+	ByOpW          map[string]float64 `json:"by_op_w"`
+	ByGroupW       map[string]float64 `json:"by_group_w"`
+	ByDomainW      map[string]float64 `json:"by_domain_w"`
+}
+
+// EvaluateResponseFor assembles the /v1/evaluate response from a built
+// model. It is the single encoding path for both the handler and the
+// bit-identity tests: whatever bytes the server sends are exactly
+// json.Marshal of this value over a direct library call's results.
+func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
+	idd := m.IDD()
+	res := m.Evaluate()
+	out := EvaluateResponse{
+		ModelKey:     key,
+		Name:         m.D.Name,
+		DieAreaMM2:   float64(m.DieArea()) / 1e-6,
+		BitsPerBurst: m.BitsPerBurst(),
+		Pattern:      m.D.Pattern.String(),
+		IDDMA: IDDResponse{
+			IDD0:  idd.IDD0.Milliamps(),
+			IDD2N: idd.IDD2N.Milliamps(),
+			IDD2P: m.IDD2P().Milliamps(),
+			IDD3N: idd.IDD3N.Milliamps(),
+			IDD4R: idd.IDD4R.Milliamps(),
+			IDD4W: idd.IDD4W.Milliamps(),
+			IDD5:  idd.IDD5.Milliamps(),
+			IDD7:  idd.IDD7.Milliamps(),
+		},
+		Result: PatternResponse{
+			BackgroundW:    float64(res.Background),
+			CommandW:       float64(res.Command),
+			PowerW:         float64(res.Power),
+			CurrentA:       float64(res.Current),
+			BitsPerLoop:    res.BitsPerLoop,
+			EnergyPerBitPJ: float64(res.EnergyPerBit) * 1e12,
+			ByOpW:          map[string]float64{},
+			ByGroupW:       map[string]float64{},
+			ByDomainW:      map[string]float64{},
+		},
+	}
+	for op, p := range res.ByOp {
+		out.Result.ByOpW[op.String()] = float64(p)
+	}
+	for g, p := range res.ByGroup {
+		out.Result.ByGroupW[g.String()] = float64(p)
+	}
+	for dom, p := range res.ByDomain {
+		out.Result.ByDomainW[dom.String()] = float64(p)
+	}
+	return out
+}
+
+// handleEvaluate: descriptor text in, full evaluation out, through the
+// model cache.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.readDescriptor(w, r)
+	if !ok {
+		return
+	}
+	if p := r.URL.Query().Get("pattern"); p != "" {
+		loop, err := parsePattern(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad pattern: %v", err))
+			return
+		}
+		d.Pattern = desc.Pattern{Loop: loop}
+	}
+	if !checkCtx(w, r) {
+		return
+	}
+	key := DescriptorKey(d)
+	m, err := s.cache.get(key, func() (*core.Model, error) { return core.Build(d) })
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponseFor(m, key))
+}
+
+// parsePattern decodes a space-separated op list ("act nop rd pre").
+func parsePattern(s string) ([]desc.Op, error) {
+	var loop []desc.Op
+	for _, tok := range strings.Fields(s) {
+		op, err := desc.ParseOp(tok)
+		if err != nil {
+			return nil, err
+		}
+		loop = append(loop, op)
+	}
+	if len(loop) == 0 {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	return loop, nil
+}
+
+// SweepResponse is the POST /v1/sweep body.
+type SweepResponse struct {
+	Name string     `json:"name"`
+	Rows []SweepRow `json:"rows"`
+}
+
+// SweepRow is one Figure 10 bar.
+type SweepRow struct {
+	Parameter    string  `json:"parameter"`
+	RangePct     float64 `json:"range_pct"`
+	DeltaUpPct   float64 `json:"delta_up_pct"`
+	DeltaDownPct float64 `json:"delta_down_pct"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.readDescriptor(w, r)
+	if !ok {
+		return
+	}
+	if !checkCtx(w, r) {
+		return
+	}
+	rows, err := sensitivity.SweepOpts(d, engine.Options{Pool: s.pool})
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	if topS := r.URL.Query().Get("top"); topS != "" {
+		top, err := strconv.Atoi(topS)
+		if err != nil || top < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad top %q (want positive integer)", topS))
+			return
+		}
+		rows = sensitivity.Top(rows, top)
+	}
+	out := SweepResponse{Name: d.Name, Rows: make([]SweepRow, len(rows))}
+	for i, row := range rows {
+		out.Rows[i] = SweepRow{row.Name, row.RangePct, row.DeltaUpPct, row.DeltaDownPct}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SchemesResponse is the POST /v1/schemes body.
+type SchemesResponse struct {
+	Name string      `json:"name"`
+	Rows []SchemeRow `json:"rows"`
+}
+
+// SchemeRow is one Section V comparison row (baseline first).
+type SchemeRow struct {
+	Scheme         string  `json:"scheme"`
+	Source         string  `json:"source,omitempty"`
+	EnergyPerBitPJ float64 `json:"energy_per_bit_pj"`
+	EnergyDeltaPct float64 `json:"energy_delta_pct"`
+	DieAreaMM2     float64 `json:"die_area_mm2"`
+	AreaDeltaPct   float64 `json:"area_delta_pct"`
+	IDD7MA         float64 `json:"idd7_ma"`
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.readDescriptor(w, r)
+	if !ok {
+		return
+	}
+	if !checkCtx(w, r) {
+		return
+	}
+	rows, err := schemes.EvaluateOpts(d, engine.Options{Pool: s.pool})
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	out := SchemesResponse{Name: d.Name, Rows: make([]SchemeRow, len(rows))}
+	for i, row := range rows {
+		out.Rows[i] = SchemeRow{
+			Scheme:         row.Name,
+			Source:         row.Source,
+			EnergyPerBitPJ: row.EnergyPerBit.Picojoules(),
+			EnergyDeltaPct: row.EnergyDeltaPct,
+			DieAreaMM2:     row.DieAreaMM2,
+			AreaDeltaPct:   row.AreaDeltaPct,
+			IDD7MA:         row.IDD7.Milliamps(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// TraceResponse is the POST /v1/trace body: the merged replay accounting.
+type TraceResponse struct {
+	ModelKey        string           `json:"model_key"`
+	Channels        int              `json:"channels"`
+	Commands        int64            `json:"commands"`
+	Slots           int64            `json:"slots"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	CommandEnergyJ  float64          `json:"command_energy_j"`
+	BackgroundJ     float64          `json:"background_energy_j"`
+	TotalJ          float64          `json:"total_energy_j"`
+	AveragePowerW   float64          `json:"average_power_w"`
+	AverageCurrentA float64          `json:"average_current_a"`
+	Bits            int64            `json:"bits"`
+	EnergyPerBitPJ  float64          `json:"energy_per_bit_pj"`
+	BusUtilization  float64          `json:"bus_utilization"`
+	Counts          map[string]int64 `json:"counts"`
+}
+
+// TraceResponseFor converts a replay result (shared with the bit-identity
+// tests, like EvaluateResponseFor).
+func TraceResponseFor(res trace.Result, key string, channels int) TraceResponse {
+	out := TraceResponse{
+		ModelKey:        key,
+		Channels:        channels,
+		Slots:           res.Slots,
+		DurationSeconds: float64(res.Duration),
+		CommandEnergyJ:  float64(res.CommandEnergy),
+		BackgroundJ:     float64(res.Background),
+		TotalJ:          float64(res.Total),
+		AveragePowerW:   float64(res.AveragePower),
+		AverageCurrentA: float64(res.AverageCurrent),
+		Bits:            res.Bits,
+		EnergyPerBitPJ:  float64(res.EnergyPerBit) * 1e12,
+		BusUtilization:  res.BusUtilization,
+		Counts:          map[string]int64{},
+	}
+	for op, n := range res.Counts {
+		out.Commands += n
+		out.Counts[op.String()] = n
+	}
+	return out
+}
+
+// handleTrace streams the request body (trace text) through the replayer
+// against a model selected by query parameter: model=<key> references a
+// cached model from a prior /v1/evaluate, node=<nm> builds a roadmap
+// device, and neither selects the built-in sample. The body never
+// materializes: it flows from the socket through the scanner into the
+// per-channel simulators in bounded rounds.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	channels := 1
+	if cs := q.Get("channels"); cs != "" {
+		c, err := strconv.Atoi(cs)
+		if err != nil || c < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad channels %q (want positive integer)", cs))
+			return
+		}
+		channels = c
+	}
+
+	var m *core.Model
+	var key string
+	switch {
+	case q.Get("model") != "":
+		key = q.Get("model")
+		if m = s.cache.peek(key); m == nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("model %q not cached; POST its descriptor to /v1/evaluate first", key))
+			return
+		}
+	case q.Get("node") != "":
+		nm, err := strconv.ParseFloat(q.Get("node"), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad node %q (want feature size in nm)", q.Get("node")))
+			return
+		}
+		n, err := scaling.NodeFor(nm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		d := n.Description()
+		key = DescriptorKey(d)
+		if m, err = s.cache.get(key, func() (*core.Model, error) { return core.Build(d) }); err != nil {
+			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+	default:
+		d := desc.Sample1GbDDR3()
+		key = DescriptorKey(d)
+		var err error
+		if m, err = s.cache.get(key, func() (*core.Model, error) { return core.Build(d) }); err != nil {
+			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+			return
+		}
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
+	res, err := trace.Replay(m, &ctxReader{ctx: r.Context(), r: body},
+		trace.ReplayOptions{Channels: channels, Pool: s.pool})
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponseFor(res, key, channels))
+}
+
+// ctxReader aborts a streaming read once the request context is done, so
+// the per-request timeout actually cancels long trace replays instead of
+// only being checked at the start.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, context.DeadlineExceeded
+	}
+	return c.r.Read(p)
+}
+
+// RoadmapNode is one GET /v1/roadmap entry.
+type RoadmapNode struct {
+	Name         string  `json:"name"`
+	FeatureNm    float64 `json:"feature_nm"`
+	Year         float64 `json:"year"`
+	Interface    string  `json:"interface"`
+	DensityMbit  int64   `json:"density_mbit"`
+	DataRateMbps float64 `json:"data_rate_mbps"`
+	VddV         float64 `json:"vdd_v"`
+	VintV        float64 `json:"vint_v"`
+	VblV         float64 `json:"vbl_v"`
+	VppV         float64 `json:"vpp_v"`
+	TRCNs        float64 `json:"trc_ns"`
+	TRCDNs       float64 `json:"trcd_ns"`
+	TRPNs        float64 `json:"trp_ns"`
+}
+
+func (s *Server) handleRoadmap(w http.ResponseWriter, _ *http.Request) {
+	nodes := scaling.Roadmap()
+	out := make([]RoadmapNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = RoadmapNode{
+			Name:         n.Name(),
+			FeatureNm:    n.FeatureNm,
+			Year:         n.Year,
+			Interface:    n.Interface.String(),
+			DensityMbit:  n.DensityMbit(),
+			DataRateMbps: float64(n.DataRate) / 1e6,
+			VddV:         float64(n.Vdd),
+			VintV:        float64(n.Vint),
+			VblV:         float64(n.Vbl),
+			VppV:         float64(n.Vpp),
+			TRCNs:        n.TRC.Nanoseconds(),
+			TRCDNs:       n.TRCD.Nanoseconds(),
+			TRPNs:        n.TRP.Nanoseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

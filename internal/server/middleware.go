@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"drampower/internal/metrics"
+)
+
+// api wraps a /v1/* handler with the full serving stack, outside-in:
+// request ID + access log + per-path metrics (observe), then admission
+// control, then the per-request timeout, then panic recovery.
+func (s *Server) api(h http.HandlerFunc) http.Handler {
+	return s.observe(s.admit(s.timed(s.recovered(h))))
+}
+
+// statusWriter captures the status code and body size for logs/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// logMu serializes access-log lines across requests.
+var logMu sync.Mutex
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time      string  `json:"time"`
+	Level     string  `json:"level"`
+	Msg       string  `json:"msg"`
+	RequestID string  `json:"request_id"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	DurMS     float64 `json:"dur_ms"`
+	Remote    string  `json:"remote"`
+}
+
+// observe assigns a request ID, logs the request as one JSON line and
+// records the per-path counter and latency histogram.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%s-%06x", s.idBase, s.reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		path := r.URL.Path
+		s.reg.Counter("dramserved_requests_total",
+			metrics.Labels("path", path, "code", strconv.Itoa(sw.status)),
+			"Requests served by path and status code.").Inc()
+		s.reg.Histogram("dramserved_request_seconds",
+			metrics.Labels("path", path),
+			"Request latency by path.", metrics.LatencyBuckets).Observe(dur.Seconds())
+		if s.opts.AccessLog != nil {
+			line, err := json.Marshal(accessRecord{
+				Time:      start.UTC().Format(time.RFC3339Nano),
+				Level:     "info",
+				Msg:       "request",
+				RequestID: id,
+				Method:    r.Method,
+				Path:      path,
+				Status:    sw.status,
+				Bytes:     sw.bytes,
+				DurMS:     float64(dur.Microseconds()) / 1e3,
+				Remote:    r.RemoteAddr,
+			})
+			if err == nil {
+				logMu.Lock()
+				s.opts.AccessLog.Write(append(line, '\n'))
+				logMu.Unlock()
+			}
+		}
+	})
+}
+
+// admit applies the bounded admission queue: at most MaxInflight requests
+// execute concurrently; a request that cannot get a slot within QueueWait
+// is rejected with 429 and a Retry-After hint, so overload sheds load
+// instead of accumulating goroutines until the process dies.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if !s.waitForSlot(r.Context()) {
+				s.rejected.Inc()
+				retry := int(s.opts.QueueWait / time.Second)
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("server at capacity (%d in flight); retry later", s.opts.MaxInflight))
+				return
+			}
+		}
+		s.inflight.Inc()
+		defer func() {
+			s.inflight.Dec()
+			<-s.sem
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// waitForSlot blocks up to QueueWait for an admission slot.
+func (s *Server) waitForSlot(ctx context.Context) bool {
+	if s.opts.QueueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.opts.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// timed attaches the per-request timeout to the request context.
+// Handlers observe it at their evaluation boundaries, and the streaming
+// trace endpoint aborts mid-body through ctxReader.
+func (s *Server) timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// recovered converts a handler panic into a 500 instead of killing the
+// connection (and, pre-Go 1.8 style, the process).
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,205 @@
+// Package server is the HTTP model-evaluation service behind the
+// dramserved binary: a dependency-free net/http JSON API over the power
+// model, built for long-lived serving rather than one-shot CLI runs.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate  descriptor text -> pattern power/energy + IDD JSON
+//	POST /v1/sweep     descriptor text -> Figure 10 sensitivity rows
+//	POST /v1/schemes   descriptor text -> Section V scheme comparison
+//	POST /v1/trace     trace text      -> replayed energy accounting
+//	GET  /v1/roadmap   the 170 nm -> 16 nm technology roadmap
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 before serving and while draining)
+//
+// Three mechanisms make it hold up under load:
+//
+//   - A model cache (cache.go): built models are immutable and shared,
+//     keyed by the SHA-256 of the canonical descriptor rendering, so
+//     repeated evaluations of the same device skip core.Build entirely.
+//   - A bounded admission queue: at most MaxInflight /v1/* requests run
+//     at once; excess requests wait up to QueueWait for a slot and are
+//     then rejected with 429 + Retry-After instead of queueing without
+//     bound.
+//   - One shared engine.Pool: every batch evaluation (sweep, schemes,
+//     multi-channel replay) runs on the same fixed worker set, so CPU
+//     parallelism stays bounded no matter how many requests are in
+//     flight.
+//
+// Responses are bit-identical to direct library calls: handlers feed the
+// exact library results through one encoder, and a cache hit returns the
+// very model a miss built.
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"drampower/internal/engine"
+	"drampower/internal/metrics"
+)
+
+// Options configures a Server. The zero value serves with the defaults
+// noted on each field.
+type Options struct {
+	// CacheSize bounds the model cache (entries); default 128.
+	CacheSize int
+	// MaxInflight bounds concurrently executing /v1/* requests;
+	// default 64.
+	MaxInflight int
+	// QueueWait is how long an over-limit request waits for an admission
+	// slot before 429; default 2s. Negative means reject immediately.
+	QueueWait time.Duration
+	// RequestTimeout cancels a request's context after this long;
+	// default 60s.
+	RequestTimeout time.Duration
+	// MaxDescriptorBytes bounds descriptor request bodies; default 1 MiB.
+	MaxDescriptorBytes int64
+	// MaxTraceBytes bounds trace uploads; default 256 MiB.
+	MaxTraceBytes int64
+	// Workers sizes the shared evaluation pool; <= 0 selects one worker
+	// per CPU.
+	Workers int
+	// AccessLog receives one structured JSON line per request; nil
+	// disables access logging.
+	AccessLog io.Writer
+	// Registry receives the server's metrics; nil creates a fresh one.
+	Registry *metrics.Registry
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 64
+	}
+	if o.QueueWait == 0 {
+		o.QueueWait = 2 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxDescriptorBytes == 0 {
+		o.MaxDescriptorBytes = 1 << 20
+	}
+	if o.MaxTraceBytes == 0 {
+		o.MaxTraceBytes = 256 << 20
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+	return o
+}
+
+// Server is the model-evaluation service. Create with New, mount via
+// Handler (or run with Serve), release the worker pool with Close.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *modelCache
+	pool  *engine.Pool
+	reg   *metrics.Registry
+
+	sem    chan struct{}
+	ready  atomic.Bool
+	reqID  atomic.Int64
+	idBase string
+
+	inflight *metrics.Gauge
+	rejected *metrics.Counter
+	panics   *metrics.Counter
+	readyG   *metrics.Gauge
+}
+
+// New builds a server. The caller owns the returned server's lifecycle:
+// Close releases the shared worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		cache:  newModelCache(opts.CacheSize, opts.Registry),
+		pool:   engine.NewPool(opts.Workers),
+		reg:    opts.Registry,
+		sem:    make(chan struct{}, opts.MaxInflight),
+		idBase: time.Now().Format("150405"),
+	}
+	s.inflight = s.reg.Gauge("dramserved_inflight_requests", "", "Requests currently executing.")
+	s.rejected = s.reg.Counter("dramserved_rejected_total", "", "Requests rejected with 429 by the admission queue.")
+	s.panics = s.reg.Counter("dramserved_handler_panics_total", "", "Recovered handler panics.")
+	s.readyG = s.reg.Gauge("dramserved_ready", "", "1 while serving, 0 before startup and while draining.")
+
+	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
+	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))
+	s.mux.Handle("POST /v1/schemes", s.api(s.handleSchemes))
+	s.mux.Handle("POST /v1/trace", s.api(s.handleTrace))
+	s.mux.Handle("GET /v1/roadmap", s.observe(http.HandlerFunc(s.handleRoadmap)))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the root handler (all endpoints mounted).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// SetReady flips the /readyz state; Serve manages it automatically.
+func (s *Server) SetReady(ready bool) {
+	s.ready.Store(ready)
+	if ready {
+		s.readyG.Set(1)
+	} else {
+		s.readyG.Set(0)
+	}
+}
+
+// Close releases the shared worker pool. Call after the HTTP server has
+// stopped; in-flight batch evaluations must have finished.
+func (s *Server) Close() { s.pool.Close() }
+
+// Serve runs the service on ln until ctx is cancelled, then drains
+// gracefully: /readyz flips to 503 (so load balancers stop sending
+// traffic), in-flight requests get up to drainTimeout to finish, and only
+// then does the listener close. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	s.SetReady(true)
+	select {
+	case err := <-errCh:
+		s.SetReady(false)
+		return err
+	case <-ctx.Done():
+	}
+	s.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

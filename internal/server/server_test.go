@@ -1,0 +1,575 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/trace"
+)
+
+// newTestServer creates a quiet server plus its httptest frontend.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestEvaluateBitIdenticalToLibrary(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	src := desc.Format(desc.Sample1GbDDR3())
+	resp, body := post(t, hs.URL+"/v1/evaluate", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// The direct library call, encoded through the same response type,
+	// must produce byte-identical JSON.
+	d, err := desc.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(EvaluateResponseFor(m, DescriptorKey(d)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served response differs from direct library call:\nserved: %s\nlib:    %s", body, want)
+	}
+}
+
+func TestEvaluateCacheHitIsByteIdenticalAndBuildFree(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	src := desc.Format(desc.Sample1GbDDR3())
+
+	resp1, miss := post(t, hs.URL+"/v1/evaluate", src)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("miss status %d: %s", resp1.StatusCode, miss)
+	}
+	buildsAfterMiss := s.cache.builds.Value()
+	if buildsAfterMiss != 1 {
+		t.Fatalf("builds after first evaluate = %d, want 1", buildsAfterMiss)
+	}
+
+	// Re-serve the same descriptor — and a differently formatted but
+	// canonically identical one — and require zero additional builds
+	// plus byte-identical bodies.
+	resp2, hit := post(t, hs.URL+"/v1/evaluate", src)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("hit status %d", resp2.StatusCode)
+	}
+	respCanon, hitCanon := post(t, hs.URL+"/v1/evaluate", "# leading comment\n\n"+src)
+	if respCanon.StatusCode != http.StatusOK {
+		t.Fatalf("canonical-hit status %d: %s", respCanon.StatusCode, hitCanon)
+	}
+	if !bytes.Equal(miss, hit) {
+		t.Fatal("cache-hit response differs from cache-miss response")
+	}
+	if !bytes.Equal(miss, hitCanon) {
+		t.Fatal("reformatted descriptor produced a different response")
+	}
+	if got := s.cache.builds.Value(); got != buildsAfterMiss {
+		t.Fatalf("cache hits performed %d extra core.Build calls", got-buildsAfterMiss)
+	}
+	if s.cache.hits.Value() < 2 {
+		t.Fatalf("hits = %d, want >= 2", s.cache.hits.Value())
+	}
+}
+
+func TestEvaluateParseErrorIsPositioned400(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, body := post(t, hs.URL+"/v1/evaluate", "Name x\nGarbageLine foo\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Line == 0 || e.Error == "" {
+		t.Fatalf("error response not positioned: %+v", e)
+	}
+}
+
+func TestEvaluatePatternOverride(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, body := post(t, hs.URL+"/v1/evaluate?pattern=act+nop+rd+nop+pre+nop", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EvaluateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pattern != "act nop rd nop pre nop" {
+		t.Fatalf("pattern = %q", out.Pattern)
+	}
+	resp, _ = post(t, hs.URL+"/v1/evaluate?pattern=bogus", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad pattern status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDescriptorBodyLimit(t *testing.T) {
+	_, hs := newTestServer(t, Options{MaxDescriptorBytes: 64})
+	resp, _ := post(t, hs.URL+"/v1/evaluate", strings.Repeat("x", 1000))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestTraceEndpointMatchesLibraryReplay(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	d := desc.Sample1GbDDR3()
+	m, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := trace.Streaming(m, 200, 0.7, 1)
+	var tr bytes.Buffer
+	if err := trace.WriteTrace(&tr, cmds); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, hs.URL+"/v1/trace", tr.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	res, err := trace.Replay(m, bytes.NewReader(tr.Bytes()), trace.ReplayOptions{Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(TraceResponseFor(res, DescriptorKey(d), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served trace result differs from library replay:\nserved: %s\nlib:    %s", body, want)
+	}
+}
+
+func TestTraceByModelKey(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	// Evaluate caches the model and returns its key.
+	resp, body := post(t, hs.URL+"/v1/evaluate", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+	var ev EvaluateResponse
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, hs.URL+"/v1/trace?model="+ev.ModelKey, "0 act 2 17\n11 rd 2 17\n28 pre 2 17\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d: %s", resp.StatusCode, body)
+	}
+	var out TraceResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ModelKey != ev.ModelKey || out.Commands != 3 {
+		t.Fatalf("trace response %+v", out)
+	}
+	// An unknown key is 404, pointing at /v1/evaluate.
+	resp, body = post(t, hs.URL+"/v1/trace?model=deadbeef", "0 act 0 0\n")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestTraceParseErrorPositioned(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, body := post(t, hs.URL+"/v1/trace", "0 act 0 0\nxx rd 0 0\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Line != 2 {
+		t.Fatalf("error line = %d, want 2: %+v", e.Line, e)
+	}
+}
+
+func TestSweepAndSchemesEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, body := post(t, hs.URL+"/v1/sweep?top=5", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Rows) != 5 || sw.Rows[0].RangePct <= 0 {
+		t.Fatalf("sweep rows %+v", sw.Rows)
+	}
+	resp, body = post(t, hs.URL+"/v1/schemes", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schemes status %d: %s", resp.StatusCode, body)
+	}
+	var sc SchemesResponse
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Rows) < 2 || sc.Rows[0].EnergyDeltaPct != 0 {
+		t.Fatalf("schemes rows %+v", sc.Rows)
+	}
+}
+
+func TestRoadmapEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, err := http.Get(hs.URL + "/v1/roadmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var nodes []RoadmapNode
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) < 10 || nodes[0].FeatureNm != 170 {
+		t.Fatalf("roadmap %d nodes, first %+v", len(nodes), nodes[0])
+	}
+}
+
+func TestBackpressureReturns429(t *testing.T) {
+	// One slot, no queueing: with a request parked in the handler, every
+	// concurrent request must be rejected with 429 + Retry-After instead
+	// of queueing unboundedly.
+	s, hs := newTestServer(t, Options{MaxInflight: 1, QueueWait: -1})
+	release := make(chan struct{})
+	var inHandler sync.WaitGroup
+	inHandler.Add(1)
+	s.mux.Handle("POST /v1/block", s.api(func(w http.ResponseWriter, r *http.Request) {
+		inHandler.Done()
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	go http.Post(hs.URL+"/v1/block", "text/plain", nil)
+	inHandler.Wait()
+
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/evaluate", "text/plain", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				rejected.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(release)
+	if rejected.Load() != 8 {
+		t.Fatalf("rejected %d of 8 over-capacity requests, want all", rejected.Load())
+	}
+	if s.rejected.Value() != 8 {
+		t.Fatalf("rejected counter = %d, want 8", s.rejected.Value())
+	}
+	// The slot frees up and the server serves again.
+	resp, body := post(t, hs.URL+"/v1/evaluate", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxInflight: 1, QueueWait: 5 * time.Second})
+	release := make(chan struct{})
+	var inHandler sync.WaitGroup
+	inHandler.Add(1)
+	s.mux.Handle("POST /v1/block", s.api(func(w http.ResponseWriter, r *http.Request) {
+		inHandler.Done()
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	go http.Post(hs.URL+"/v1/block", "text/plain", nil)
+	inHandler.Wait()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(hs.URL+"/v1/evaluate", "text/plain", nil)
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		done <- resp.StatusCode
+	}()
+	// Let the second request park in the admission queue, then free the
+	// slot: it must be admitted and succeed, not 429.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued request finished with %d, want 200", code)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	get := func(path string) int {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if get("/healthz") != http.StatusOK {
+		t.Fatal("healthz not 200")
+	}
+	if get("/readyz") != http.StatusServiceUnavailable {
+		t.Fatal("readyz should be 503 before Serve")
+	}
+	s.SetReady(true)
+	if get("/readyz") != http.StatusOK {
+		t.Fatal("readyz not 200 when ready")
+	}
+	s.SetReady(false)
+	if get("/readyz") != http.StatusServiceUnavailable {
+		t.Fatal("readyz not 503 when draining")
+	}
+}
+
+func TestServeDrainsInflightRequests(t *testing.T) {
+	// Cancel the serve context while a request is in flight: Serve must
+	// flip readiness, wait for the response to finish, and return nil.
+	s := New(Options{})
+	defer s.Close()
+	release := make(chan struct{})
+	s.mux.Handle("POST /v1/block", s.api(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("drained ok"))
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	waitReady(t, url)
+
+	respCh := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/block", "text/plain", nil)
+		if err != nil {
+			respCh <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		respCh <- string(b)
+	}()
+	// Wait until the request is parked in the handler, then start the
+	// drain; the in-flight request must still complete.
+	waitInflight(t, s)
+	cancel()
+	time.Sleep(50 * time.Millisecond) // shutdown under way
+	close(release)
+	if got := <-respCh; got != "drained ok" {
+		t.Fatalf("in-flight request got %q, want full response", got)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+func waitInflight(t *testing.T, s *Server) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if s.inflight.Value() > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("request never entered the handler")
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	post(t, hs.URL+"/v1/evaluate", "")
+	post(t, hs.URL+"/v1/evaluate", "")
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	out := string(b)
+	for _, want := range []string{
+		"dramserved_model_cache_hits_total 1",
+		"dramserved_model_cache_misses_total 1",
+		"dramserved_model_builds_total 1",
+		`dramserved_requests_total{path="/v1/evaluate",code="200"} 2`,
+		`dramserved_request_seconds_bucket{path="/v1/evaluate",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestAccessLogAndRequestID(t *testing.T) {
+	var buf syncBuffer
+	_, hs := newTestServer(t, Options{AccessLog: &buf})
+	resp, _ := post(t, hs.URL+"/v1/evaluate", "")
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	var rec map[string]any
+	line := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access log line %q: %v", line, err)
+	}
+	if rec["request_id"] != id || rec["path"] != "/v1/evaluate" || rec["status"] != float64(200) {
+		t.Fatalf("access record %v", rec)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for log capture.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	// A race-detector workout across every endpoint at once.
+	_, hs := newTestServer(t, Options{MaxInflight: 8, CacheSize: 2})
+	paths := []struct{ path, body string }{
+		{"/v1/evaluate", ""},
+		{"/v1/evaluate", "Name other\n"}, // parse error; exercises 400 path
+		{"/v1/trace", "0 act 2 17\n11 rd 2 17\n28 pre 2 17\n"},
+		{"/v1/sweep?top=3", ""},
+		{"/v1/schemes", ""},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				p := paths[(w+i)%len(paths)]
+				resp, err := http.Post(hs.URL+p.path, "text/plain", strings.NewReader(p.body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					t.Errorf("%s: status %d", p.path, resp.StatusCode)
+					return
+				}
+			}
+			// Interleave reads of the metrics endpoint.
+			resp, err := http.Get(hs.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, err := http.Get(hs.URL + "/v1/evaluate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/evaluate = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+)
+
+// FuzzTraceScanner drives the streaming trace scanner with mutated
+// inputs, seeded from generated workloads and edge-case lines. The
+// scanner must never panic, must only fail with positioned *ParseError,
+// and every accepted command must survive the AppendCommand round-trip
+// (the canonical rendering reparses to the same command).
+func FuzzTraceScanner(f *testing.F) {
+	if m, err := core.Build(desc.Sample1GbDDR3()); err == nil {
+		var b bytes.Buffer
+		WriteTrace(&b, Streaming(m, 50, 0.7, 1))
+		f.Add(b.Bytes())
+		b.Reset()
+		WriteTrace(&b, RandomClosedPage(m, 30, 0.5, 2))
+		f.Add(b.Bytes())
+	}
+	f.Add([]byte("0 act 2 17\n11 rd 2 17\n28 pre 2 17\n100 ref\n"))
+	f.Add([]byte("# comment\n\n  \t\n5 ACTIVATE 1 2 # trailing\n"))
+	f.Add([]byte("9223372036854775807 nop\n"))
+	f.Add([]byte("-1 act 0 0\n"))
+	f.Add([]byte("0 wr 0\n0 write 0 0 0\n"))
+	f.Add([]byte("0"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewScanner(bytes.NewReader(data))
+		var cmds []Command
+		for sc.Scan() {
+			cmds = append(cmds, sc.Command())
+			if len(cmds) >= 4096 {
+				break
+			}
+		}
+		if err := sc.Err(); err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-positioned scanner error %T: %v", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("scanner error with line %d: %v", pe.Line, pe)
+			}
+		}
+		if len(cmds) == 0 {
+			return
+		}
+		// Canonical round-trip: re-render and re-scan.
+		var buf []byte
+		for _, c := range cmds {
+			buf = AppendCommand(buf, c)
+		}
+		rt := NewScanner(bytes.NewReader(buf))
+		for i := 0; rt.Scan(); i++ {
+			if got := rt.Command(); got != cmds[i] {
+				t.Fatalf("round-trip command %d = %+v, want %+v", i, got, cmds[i])
+			}
+		}
+		if err := rt.Err(); err != nil {
+			t.Fatalf("canonical rendering failed to rescan: %v", err)
+		}
+	})
+}

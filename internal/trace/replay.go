@@ -30,6 +30,11 @@ type ReplayOptions struct {
 	// Workers bounds the worker pool driving the channels (engine
 	// semantics: <= 0 selects one worker per CPU, 1 replays serially).
 	Workers int
+	// Pool, when set, drives the channels on a shared long-lived engine
+	// pool instead of per-round goroutines (see engine.Options.Pool);
+	// long-running servers use this so concurrent replays share one
+	// bounded worker set.
+	Pool *engine.Pool
 }
 
 // replayBatch is the number of commands buffered per scheduling round.
@@ -59,7 +64,7 @@ func NewReplayer(m *core.Model, opts ReplayOptions) *Replayer {
 		m:     m,
 		sims:  make([]*Simulator, ch),
 		banks: m.D.Spec.Banks(),
-		opts:  engine.Options{Workers: opts.Workers},
+		opts:  engine.Options{Workers: opts.Workers, Pool: opts.Pool},
 	}
 	for i := range r.sims {
 		r.sims[i] = New(m)

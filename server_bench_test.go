@@ -1,0 +1,70 @@
+package drampower
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServerEvaluate measures /v1/evaluate throughput over a real
+// loopback HTTP server, separating the two regimes that matter for
+// serving: cached (the canonical descriptor is already in the model
+// cache, so a request costs parse + key + encode) and uncached (every
+// request names a distinct device and pays the full core.Build). The
+// gap between the two is the value of the model cache; `make bench`
+// snapshots both into BENCH_trace.json.
+func BenchmarkServerEvaluate(b *testing.B) {
+	post := func(ts *httptest.Server, body string) error {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "text/plain", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		s := NewServer(ServerOptions{})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		src := Format(Sample1GbDDR3())
+		if err := post(ts, src); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(ts, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("uncached", func(b *testing.B) {
+		// A cache smaller than the request stream plus a unique name per
+		// iteration forces a build on every request.
+		s := NewServer(ServerOptions{CacheSize: 1})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		d := Sample1GbDDR3()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Name = fmt.Sprintf("bench-uncached-%d", i)
+			if err := post(ts, Format(d)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}

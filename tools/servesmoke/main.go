@@ -1,0 +1,287 @@
+// Command servesmoke is an end-to-end smoke test for dramserved: it
+// builds (or is pointed at) the server binary, starts it on a random
+// port, exercises every endpoint over real HTTP — including the 429
+// backpressure path and the SIGTERM drain — and tears it down. It is
+// wired into `make serve-smoke` (and `make check`) so the served API is
+// exercised as a black box on every gate run, not just in-process.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to a dramserved binary (empty: go build one)")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: OK")
+}
+
+func run(bin string) error {
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "servesmoke")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "dramserved")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/dramserved")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building dramserved: %w", err)
+		}
+	}
+
+	// One execution slot and a short queue wait make the backpressure
+	// path reachable with a single parked request.
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-max-inflight", "1",
+		"-queue-wait", "75ms",
+		"-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	reaped := false
+	defer func() {
+		if reaped {
+			return
+		}
+		cmd.Process.Kill()
+		<-exited
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		return fmt.Errorf("server exited before announcing its address")
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "dramserved listening on ")
+	if !ok {
+		return fmt.Errorf("unexpected startup line %q", line)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if err := smoke(client, base); err != nil {
+		return err
+	}
+	if err := backpressure(client, base); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0 well inside the
+	// default -drain window.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-exited:
+		reaped = true
+		if err != nil {
+			return fmt.Errorf("server exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// smoke exercises every endpoint once and checks the model cache is
+// doing its job via the /metrics counters.
+func smoke(client *http.Client, base string) error {
+	get := func(path string, want int) (string, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			return "", fmt.Errorf("GET %s = %d, want %d: %s", path, resp.StatusCode, want, body)
+		}
+		return string(body), nil
+	}
+	post := func(path, body string, want int) (map[string]any, error) {
+		resp, err := client.Post(base+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("POST %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			return nil, fmt.Errorf("POST %s = %d, want %d: %s", path, resp.StatusCode, want, raw)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("POST %s: non-JSON response %q", path, raw)
+		}
+		return m, nil
+	}
+
+	if _, err := get("/healthz", http.StatusOK); err != nil {
+		return err
+	}
+	if _, err := get("/readyz", http.StatusOK); err != nil {
+		return err
+	}
+
+	// Empty body evaluates the built-in sample; the second, identical
+	// request must be a cache hit.
+	ev, err := post("/v1/evaluate", "", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	key, _ := ev["model_key"].(string)
+	if len(key) != 64 {
+		return fmt.Errorf("evaluate: model_key %q is not a SHA-256 hex key", key)
+	}
+	if _, err := post("/v1/evaluate", "", http.StatusOK); err != nil {
+		return err
+	}
+
+	if _, err := post("/v1/sweep", "", http.StatusOK); err != nil {
+		return err
+	}
+	if _, err := post("/v1/schemes", "", http.StatusOK); err != nil {
+		return err
+	}
+	if _, err := post("/v1/trace?model="+key, "0 act 2 17\n11 rd 2 17\n28 pre 2 17\n", http.StatusOK); err != nil {
+		return err
+	}
+	if _, err := get("/v1/roadmap", http.StatusOK); err != nil {
+		return err
+	}
+
+	// Positioned parse diagnostics come back as structured 400s.
+	bad, err := post("/v1/evaluate", "FloorplanPhysical\nCellArray BL=\n", http.StatusBadRequest)
+	if err != nil {
+		return err
+	}
+	if _, ok := bad["line"]; !ok {
+		return fmt.Errorf("parse-error response lacks a line field: %v", bad)
+	}
+
+	metricsBody, err := get("/metrics", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"dramserved_requests_total",
+		"dramserved_model_cache_hits_total",
+		"dramserved_request_seconds_bucket",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			return fmt.Errorf("/metrics output lacks %s", want)
+		}
+	}
+	if hits := metricValue(metricsBody, "dramserved_model_cache_hits_total"); hits < 1 {
+		return fmt.Errorf("repeated evaluate did not register a cache hit:\n%s",
+			grepLines(metricsBody, "model_cache"))
+	}
+	return nil
+}
+
+// backpressure parks a streaming trace upload in the single execution
+// slot and checks that a concurrent request is rejected with 429 and a
+// Retry-After hint, then that the server recovers once the slot frees.
+func backpressure(client *http.Client, base string) error {
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := client.Post(base+"/v1/trace", "text/plain", pr)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("parked trace request = %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	if _, err := io.WriteString(pw, "0 act 2 17\n11 rd 2 17\n"); err != nil {
+		return err
+	}
+	// Give the parked request time to claim the slot, then collide.
+	time.Sleep(200 * time.Millisecond)
+	resp, err := client.Post(base+"/v1/evaluate", "text/plain", bytes.NewReader(nil))
+	if err != nil {
+		return fmt.Errorf("colliding evaluate: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("overload response = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("429 response lacks Retry-After")
+	}
+	if _, err := io.WriteString(pw, "28 pre 2 17\n"); err != nil {
+		return err
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		return err
+	}
+	// Slot free again: the same request is now admitted.
+	resp, err = client.Post(base+"/v1/evaluate", "text/plain", bytes.NewReader(nil))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("post-overload evaluate = %d, want 200", resp.StatusCode)
+	}
+	return nil
+}
+
+// metricValue returns the value of an unlabelled series in Prometheus
+// text exposition, or -1 if absent.
+func metricValue(body, name string) float64 {
+	for _, l := range strings.Split(body, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 2 && f[0] == name {
+			var v float64
+			if _, err := fmt.Sscanf(f[1], "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
