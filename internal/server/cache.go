@@ -27,7 +27,8 @@ func DescriptorKey(d *desc.Description) string {
 // modelCache is a concurrency-safe LRU of built models keyed by
 // DescriptorKey. Hits skip core.Build entirely (models are immutable
 // after Build and safe for concurrent readers); concurrent misses on the
-// same key build once and share the result (per-entry sync.Once), so a
+// same key build once and share the result (waiters block on the entry's
+// done channel, closed by the one goroutine that inserted it), so a
 // thundering herd of identical descriptors costs one build.
 type modelCache struct {
 	mu      sync.Mutex
@@ -39,10 +40,14 @@ type modelCache struct {
 	size                            *metrics.Gauge
 }
 
-// cacheEntry is one cached (or in-flight) build.
+// cacheEntry is one cached (or in-flight) build. Only the goroutine that
+// inserted the entry runs the build and closes done; everyone else waits
+// on done before reading model/err. (A sync.Once is not enough here: a
+// hit racing the inserter could consume the Once with a no-op, leaving
+// model and err permanently nil.)
 type cacheEntry struct {
 	key   string
-	once  sync.Once
+	done  chan struct{} // closed once model/err are final
 	model *core.Model
 	err   error
 }
@@ -78,11 +83,11 @@ func (c *modelCache) get(key string, build func() (*core.Model, error)) (*core.M
 		c.hits.Inc()
 		c.mu.Unlock()
 		// A hit on an entry still building waits for the builder.
-		e.once.Do(func() {})
+		<-e.done
 		return e.model, e.err
 	}
 	c.misses.Inc()
-	e := &cacheEntry{key: key}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	elem := c.ll.PushFront(e)
 	c.entries[key] = elem
 	for c.ll.Len() > c.cap {
@@ -94,10 +99,9 @@ func (c *modelCache) get(key string, build func() (*core.Model, error)) (*core.M
 	c.size.Set(int64(c.ll.Len()))
 	c.mu.Unlock()
 
-	e.once.Do(func() {
-		c.builds.Inc()
-		e.model, e.err = build()
-	})
+	c.builds.Inc()
+	e.model, e.err = build()
+	close(e.done)
 	if e.err != nil {
 		c.mu.Lock()
 		if cur, ok := c.entries[key]; ok && cur == elem {
@@ -123,7 +127,7 @@ func (c *modelCache) peek(key string) *core.Model {
 	e := elem.Value.(*cacheEntry)
 	c.hits.Inc()
 	c.mu.Unlock()
-	e.once.Do(func() {})
+	<-e.done
 	if e.err != nil {
 		return nil
 	}

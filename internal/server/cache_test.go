@@ -168,6 +168,60 @@ func TestCacheConcurrentHitMissEviction(t *testing.T) {
 	}
 }
 
+func TestCacheHitDuringBuildWaitsForModel(t *testing.T) {
+	// Regression: a hit or peek racing an in-flight build must wait for
+	// the inserting goroutine's build and then see the real model. The
+	// original sync.Once scheme let a racing hit consume the Once with a
+	// no-op, so the build never ran and (nil, nil) was cached forever.
+	c := newModelCache(4, metrics.NewRegistry())
+	key := DescriptorKey(variant(0))
+	buildStarted := make(chan struct{})
+	release := make(chan struct{})
+	builderDone := make(chan struct{})
+	go func() {
+		defer close(builderDone)
+		m, err := c.get(key, func() (*core.Model, error) {
+			close(buildStarted)
+			<-release
+			return core.Build(variant(0))
+		})
+		if err != nil || m == nil {
+			t.Errorf("inserting get returned (%v, %v)", m, err)
+		}
+	}()
+	<-buildStarted
+
+	// The entry is in the map with its build blocked on release. Hits and
+	// peeks must block here, not return a nil model.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.get(key, func() (*core.Model, error) {
+				t.Error("build called on a hit")
+				return nil, nil
+			})
+			if err != nil || m == nil {
+				t.Errorf("hit during in-flight build returned (%v, %v)", m, err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if m := c.peek(key); m == nil {
+				t.Error("peek during in-flight build returned nil")
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	<-builderDone
+	if got := c.builds.Value(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+}
+
 func TestCacheConcurrentSameKeyBuildsOnce(t *testing.T) {
 	c := newModelCache(4, metrics.NewRegistry())
 	key := DescriptorKey(variant(0))

@@ -32,18 +32,24 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before we finished. Nobody receives the response body, but the
+// status keeps access logs and the per-code request counter from filing
+// client disconnects under 504 "request timed out".
+const statusClientClosedRequest = 499
+
 // writeParseAwareError maps an evaluation error to a response: positioned
-// parse errors become 400 with line/col, timeouts 504, body-size limits
-// 413, anything else the provided fallback status.
+// parse errors become 400 with line/col, timeouts 504, client
+// cancellations 499, body-size limits 413, anything else the provided
+// fallback status. The stream-failure checks run before the
+// trace.ParseError one because the scanner wraps reader errors in a
+// positioned ParseError: a trace upload that dies on the request
+// deadline, the client hanging up or the body cap is an I/O outcome, not
+// bad trace text.
 func writeParseAwareError(w http.ResponseWriter, err error, fallback int) {
 	var dpe *desc.ParseError
 	if errors.As(err, &dpe) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: dpe.Line, Col: dpe.Col})
-		return
-	}
-	var tpe *trace.ParseError
-	if errors.As(err, &tpe) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: tpe.Line, Col: tpe.Col})
 		return
 	}
 	var mbe *http.MaxBytesError
@@ -54,6 +60,15 @@ func writeParseAwareError(w http.ResponseWriter, err error, fallback int) {
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, statusClientClosedRequest, "client closed request")
+		return
+	}
+	var tpe *trace.ParseError
+	if errors.As(err, &tpe) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: tpe.Line, Col: tpe.Col})
 		return
 	}
 	writeError(w, fallback, err.Error())
@@ -95,10 +110,11 @@ func (s *Server) readDescriptor(w http.ResponseWriter, r *http.Request) (*desc.D
 }
 
 // checkCtx reports whether the request is still live, answering 504 when
-// its deadline already expired (no point burning CPU on a dead request).
+// its deadline already expired or 499 when the client hung up (no point
+// burning CPU on a dead request either way).
 func checkCtx(w http.ResponseWriter, r *http.Request) bool {
 	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		writeParseAwareError(w, err, http.StatusInternalServerError)
 		return false
 	}
 	return true
@@ -437,7 +453,7 @@ type ctxReader struct {
 
 func (c *ctxReader) Read(p []byte) (int, error) {
 	if err := c.ctx.Err(); err != nil {
-		return 0, context.DeadlineExceeded
+		return 0, err
 	}
 	return c.r.Read(p)
 }

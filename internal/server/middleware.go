@@ -110,7 +110,15 @@ func (s *Server) admit(next http.Handler) http.Handler {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			if !s.waitForSlot(r.Context()) {
+			switch s.waitForSlot(r.Context()) {
+			case slotAcquired:
+			case slotClientGone:
+				// The client hung up while queued: not an overload
+				// rejection, so leave the rejected counter and the 429
+				// alone — just record the disconnect for logs/metrics.
+				w.WriteHeader(statusClientClosedRequest)
+				return
+			case slotTimedOut:
 				s.rejected.Inc()
 				retry := int(s.opts.QueueWait / time.Second)
 				if retry < 1 {
@@ -131,20 +139,31 @@ func (s *Server) admit(next http.Handler) http.Handler {
 	})
 }
 
-// waitForSlot blocks up to QueueWait for an admission slot.
-func (s *Server) waitForSlot(ctx context.Context) bool {
+// slotResult says how a queued request's wait for admission ended.
+type slotResult int
+
+const (
+	slotAcquired   slotResult = iota // got a slot; caller must release it
+	slotTimedOut                     // QueueWait elapsed: genuine overload
+	slotClientGone                   // request context ended while queued
+)
+
+// waitForSlot blocks up to QueueWait for an admission slot,
+// distinguishing queue-wait expiry (overload, counts as a rejection)
+// from the client giving up while queued (does not).
+func (s *Server) waitForSlot(ctx context.Context) slotResult {
 	if s.opts.QueueWait <= 0 {
-		return false
+		return slotTimedOut
 	}
 	t := time.NewTimer(s.opts.QueueWait)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return slotAcquired
 	case <-t.C:
-		return false
+		return slotTimedOut
 	case <-ctx.Done():
-		return false
+		return slotClientGone
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -353,6 +355,91 @@ func TestQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
 	close(release)
 	if code := <-done; code != http.StatusOK {
 		t.Fatalf("queued request finished with %d, want 200", code)
+	}
+}
+
+func TestTraceTimeoutMidStreamReturns504(t *testing.T) {
+	// The per-request deadline firing in the middle of a streamed trace
+	// body must be reported as a 504 timeout, not a 400 parse error: the
+	// scanner wraps the context error in a positioned trace.ParseError,
+	// and writeParseAwareError has to see through the wrapper.
+	_, hs := newTestServer(t, Options{RequestTimeout: 100 * time.Millisecond})
+	pr, pw := io.Pipe()
+	defer pr.Close()
+	go func() {
+		// Trickle valid lines well past the deadline so the server is
+		// mid-stream (reads keep succeeding) when it fires, then end the
+		// body so the client finishes promptly after the early response.
+		defer pw.Close()
+		for slot := int64(0); slot < 100*60; slot += 100 {
+			if _, err := pw.Write([]byte(fmt.Sprintf("%d ref\n", slot))); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/trace", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("mid-stream timeout status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "timed out") {
+		t.Fatalf("body %q does not mention the timeout", body)
+	}
+}
+
+func TestQueuedClientCancelNotCountedRejected(t *testing.T) {
+	// A client that gives up while parked in the admission queue is not an
+	// overload rejection: the rejected counter must not move and the
+	// request must not be answered 429 (it is logged as a 499 instead).
+	s, hs := newTestServer(t, Options{MaxInflight: 1, QueueWait: 5 * time.Second})
+	release := make(chan struct{})
+	var inHandler sync.WaitGroup
+	inHandler.Add(1)
+	s.mux.Handle("POST /v1/block", s.api(func(w http.ResponseWriter, r *http.Request) {
+		inHandler.Done()
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	go http.Post(hs.URL+"/v1/block", "text/plain", nil)
+	inHandler.Wait()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/evaluate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Let the request park in the queue, then hang up.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued request returned %v, want context.Canceled", err)
+	}
+	close(release)
+	if got := s.rejected.Value(); got != 0 {
+		t.Fatalf("rejected counter = %d after client cancel, want 0", got)
+	}
+	// The slot was never handed to the cancelled request; the server still
+	// serves normally.
+	resp, body := post(t, hs.URL+"/v1/evaluate", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel status %d: %s", resp.StatusCode, body)
 	}
 }
 

@@ -39,6 +39,7 @@ type ParseError struct {
 	Line int
 	Col  int
 	Msg  string
+	err  error // underlying reader error, when the input itself failed
 }
 
 // Error implements the error interface.
@@ -48,6 +49,12 @@ func (e *ParseError) Error() string {
 	}
 	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
 }
+
+// Unwrap exposes the reader error behind a stream failure, so callers can
+// errors.Is/As through the positioned wrapper (e.g. to tell a cancelled
+// context or an http.MaxBytesError apart from genuinely bad trace text).
+// It is nil for ordinary syntax errors.
+func (e *ParseError) Unwrap() error { return e.err }
 
 // maxLineBytes bounds a single trace line; a well-formed line is a few
 // dozen bytes, so the cap only guards against pathological input.
@@ -100,7 +107,7 @@ func (sc *Scanner) Scan() bool {
 		}
 	}
 	if err := sc.s.Err(); err != nil {
-		sc.err = &ParseError{Line: sc.line + 1, Msg: err.Error()}
+		sc.err = &ParseError{Line: sc.line + 1, Msg: err.Error(), err: err}
 	}
 	return false
 }
@@ -124,21 +131,21 @@ func parseLine(b []byte, line int) (cmd Command, ok bool, err error) {
 	}
 	slot, j, numOK := parseInt(b, i)
 	if !numOK {
-		return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("bad slot %q (want integer)", field(b, i))}
+		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("bad slot %q (want integer)", field(b, i))}
 	}
 	if slot < 0 {
-		return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("negative slot %d", slot)}
+		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("negative slot %d", slot)}
 	}
 	cmd.Slot = slot
 
 	i = skipSpace(b, j)
 	if i >= len(b) || b[i] == '#' {
-		return Command{}, false, &ParseError{line, 0, "missing operation"}
+		return Command{}, false, &ParseError{Line: line, Col: 0, Msg: "missing operation"}
 	}
 	j = endOfField(b, i)
 	op, opOK := parseOpBytes(b[i:j])
 	if !opOK {
-		return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("unknown operation %q (want nop, act, pre, rd, wrt or ref)", field(b, i))}
+		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("unknown operation %q (want nop, act, pre, rd, wrt or ref)", field(b, i))}
 	}
 	cmd.Op = op
 
@@ -146,7 +153,7 @@ func parseLine(b []byte, line int) (cmd Command, ok bool, err error) {
 	if i < len(b) && b[i] != '#' {
 		bank, k, bankOK := parseInt(b, i)
 		if !bankOK {
-			return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("bad bank %q (want integer)", field(b, i))}
+			return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("bad bank %q (want integer)", field(b, i))}
 		}
 		cmd.Bank = int(bank)
 		i = skipSpace(b, k)
@@ -154,13 +161,13 @@ func parseLine(b []byte, line int) (cmd Command, ok bool, err error) {
 	if i < len(b) && b[i] != '#' {
 		row, k, rowOK := parseInt(b, i)
 		if !rowOK {
-			return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("bad row %q (want integer)", field(b, i))}
+			return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("bad row %q (want integer)", field(b, i))}
 		}
 		cmd.Row = int(row)
 		i = skipSpace(b, k)
 	}
 	if i < len(b) && b[i] != '#' {
-		return Command{}, false, &ParseError{line, i + 1, fmt.Sprintf("trailing field %q (want <slot> <op> [<bank> [<row>]])", field(b, i))}
+		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("trailing field %q (want <slot> <op> [<bank> [<row>]])", field(b, i))}
 	}
 	return cmd, true, nil
 }

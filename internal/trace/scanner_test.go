@@ -113,6 +113,57 @@ func TestScannerErrors(t *testing.T) {
 	}
 }
 
+// failAfterReader yields its content, then fails with err.
+type failAfterReader struct {
+	content string
+	err     error
+	done    bool
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if !r.done {
+		r.done = true
+		return copy(p, r.content), nil
+	}
+	return 0, r.err
+}
+
+func TestScannerReaderErrorUnwraps(t *testing.T) {
+	// A stream failure surfaces as a positioned ParseError that still
+	// unwraps to the reader's own error, so callers can tell I/O outcomes
+	// (cancelled context, body-size cap) apart from bad trace text.
+	cause := errors.New("stream torn down")
+	sc := NewScanner(&failAfterReader{content: "0 act 0 0\n", err: cause})
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scanned %d commands before the failure, want 1", n)
+	}
+	err := sc.Err()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("failure position: line %d, want 2", pe.Line)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v does not unwrap to the reader error", err)
+	}
+	// Ordinary syntax errors unwrap to nothing.
+	sc = NewScanner(strings.NewReader("x act\n"))
+	for sc.Scan() {
+	}
+	if !errors.As(sc.Err(), &pe) {
+		t.Fatalf("syntax error is %T, want *ParseError", sc.Err())
+	}
+	if pe.Unwrap() != nil {
+		t.Errorf("syntax error unwraps to %v, want nil", pe.Unwrap())
+	}
+}
+
 // The scanner performs no per-line allocations: scanning thousands of
 // lines costs only the fixed scanner setup.
 func TestScannerAllocationFree(t *testing.T) {
