@@ -306,8 +306,11 @@ func BenchmarkSweepSerial(b *testing.B) {
 }
 
 // BenchmarkSweepParallel measures the same sweep on the batch engine with
-// one worker per CPU. The results are identical to the serial sweep; on a
-// multi-core machine the wall time shrinks with the core count.
+// one worker per CPU. The results are identical to the serial sweep, and
+// the wall time only improves when the runner actually has spare CPUs:
+// with GOMAXPROCS == 1 this coincides with BenchmarkSweepSerial. Read the
+// numbers against the env block benchjson records in BENCH_trace.json
+// (go version, GOMAXPROCS, CPU count) before drawing scaling conclusions.
 func BenchmarkSweepParallel(b *testing.B) {
 	d := Sample1GbDDR3()
 	b.ResetTimer()

@@ -13,11 +13,16 @@
 //	dramtrace -desc device.dram t.txt        # replay against a description
 //	dramtrace -gen closed -n 100000          # emit a generated trace
 //	dramtrace -gen streaming -channels 4 -n 1000000 | dramtrace -channels 4
+//	dramtrace -gen refresh -idle 1 -n 1000   # power-down in every idle gap
 //
 // The trace format is one command per line, `<slot> <op> [<bank>
 // [<row>]]`, '#' comments; ops are the pattern mnemonics act, pre, rd,
-// wrt, nop, ref. With -gen, -n sets the approximate command count and the
-// trace is written to stdout instead of replaying.
+// wrt, nop, ref plus the power-state commands pde, pdx, sre, srx
+// (power-down / self-refresh entry and exit). With -gen, -n sets the
+// approximate command count and the trace is written to stdout instead of
+// replaying; -idle N additionally parks the device in precharge
+// power-down during every idle gap of at least N slots (1 = every gap
+// that fits a legal power-down window).
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 	n := flag.Int("n", 100000, "approximate command count for -gen")
 	readShare := flag.Float64("readshare", 0.7, "read share of generated column commands")
 	seed := flag.Int64("seed", 1, "base RNG seed for -gen")
+	idle := flag.Int64("idle", 0, "with -gen: enter power-down in idle gaps of at least this many slots (0 = never)")
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
@@ -62,7 +68,7 @@ func main() {
 	}
 
 	if *gen != "" {
-		if err := generate(m, *gen, *channels, *n, *readShare, *seed); err != nil {
+		if err := generate(m, *gen, *channels, *n, *readShare, *seed, *idle); err != nil {
 			cli.Fatal("dramtrace", err)
 		}
 		return
@@ -89,9 +95,9 @@ func main() {
 }
 
 // generate writes a synthetic trace to stdout: per-channel workloads from
-// the generators in internal/trace, interleaved into one global-bank
-// trace.
-func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed int64) error {
+// the generators in internal/trace, optionally parked in power-down
+// during idle gaps (-idle), interleaved into one global-bank trace.
+func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed, idle int64) error {
 	if channels < 1 {
 		channels = 1
 	}
@@ -109,6 +115,11 @@ func generate(m *drampower.Model, kind string, channels, n int, readShare float6
 			chans[ch] = trace.RefreshOnly(m, perChannel)
 		default:
 			return fmt.Errorf("bad -gen %q (want streaming, closed or refresh)", kind)
+		}
+		if idle > 0 {
+			// The insertion policy runs per channel: power-down legality
+			// (banks closed, refresh complete) is a per-device property.
+			chans[ch] = trace.WithPowerDown(m, chans[ch], idle)
 		}
 	}
 	return drampower.WriteTrace(os.Stdout, drampower.InterleaveChannels(chans, m.D.Spec.Banks()))
@@ -142,6 +153,14 @@ type output struct {
 	Bits              int64            `json:"bits"`
 	EnergyPerBitPJ    float64          `json:"energy_per_bit_pj"`
 	BusUtilization    float64          `json:"bus_utilization"`
+	ActiveSlots       int64            `json:"active_slots"`
+	PrechargedSlots   int64            `json:"precharged_slots"`
+	PowerDownSlots    int64            `json:"power_down_slots"`
+	SelfRefreshSlots  int64            `json:"self_refresh_slots"`
+	ActiveBgJ         float64          `json:"active_background_j"`
+	PrechargedBgJ     float64          `json:"precharged_background_j"`
+	PowerDownBgJ      float64          `json:"power_down_background_j"`
+	SelfRefreshBgJ    float64          `json:"self_refresh_background_j"`
 	Counts            map[string]int64 `json:"counts"`
 	TraceBytes        int64            `json:"trace_bytes"`
 	WallSeconds       float64          `json:"wall_seconds"`
@@ -154,25 +173,33 @@ func report(res drampower.TraceResult, bytes int64, channels, workers int, wall 
 	counts := map[string]int64{}
 	for op, c := range res.Counts {
 		commands += c
-		counts[op.String()] = c
+		counts[drampower.TraceOpName(op)] = c
 	}
 	o := output{
-		Channels:        channels,
-		Workers:         workers,
-		Commands:        commands,
-		Slots:           res.Slots,
-		DurationSeconds: float64(res.Duration),
-		CommandEnergyJ:  float64(res.CommandEnergy),
-		BackgroundJ:     float64(res.Background),
-		TotalJ:          float64(res.Total),
-		AveragePowerW:   float64(res.AveragePower),
-		AverageCurrentA: float64(res.AverageCurrent),
-		Bits:            res.Bits,
-		EnergyPerBitPJ:  float64(res.EnergyPerBit) * 1e12,
-		BusUtilization:  res.BusUtilization,
-		Counts:          counts,
-		TraceBytes:      bytes,
-		WallSeconds:     wall.Seconds(),
+		Channels:         channels,
+		Workers:          workers,
+		Commands:         commands,
+		Slots:            res.Slots,
+		DurationSeconds:  float64(res.Duration),
+		CommandEnergyJ:   float64(res.CommandEnergy),
+		BackgroundJ:      float64(res.Background),
+		TotalJ:           float64(res.Total),
+		AveragePowerW:    float64(res.AveragePower),
+		AverageCurrentA:  float64(res.AverageCurrent),
+		Bits:             res.Bits,
+		EnergyPerBitPJ:   float64(res.EnergyPerBit) * 1e12,
+		BusUtilization:   res.BusUtilization,
+		ActiveSlots:      res.ActiveSlots,
+		PrechargedSlots:  res.PrechargedSlots,
+		PowerDownSlots:   res.PowerDownSlots,
+		SelfRefreshSlots: res.SelfRefreshSlots,
+		ActiveBgJ:        float64(res.ActiveBackground),
+		PrechargedBgJ:    float64(res.PrechargedBackground),
+		PowerDownBgJ:     float64(res.PowerDownBackground),
+		SelfRefreshBgJ:   float64(res.SelfRefreshBackground),
+		Counts:           counts,
+		TraceBytes:       bytes,
+		WallSeconds:      wall.Seconds(),
 	}
 	if s := wall.Seconds(); s > 0 {
 		o.CommandsPerSecond = float64(commands) / s
@@ -195,6 +222,14 @@ func report(res drampower.TraceResult, bytes int64, channels, workers int, wall 
 		o.TotalJ, o.AveragePowerW*1e3, o.AverageCurrentA*1e3)
 	fmt.Printf("  data:            %d bits, %.2f pJ/bit, bus utilization %.2f\n",
 		o.Bits, o.EnergyPerBitPJ, o.BusUtilization)
+	totalStateSlots := o.ActiveSlots + o.PrechargedSlots + o.PowerDownSlots + o.SelfRefreshSlots
+	if totalStateSlots > 0 {
+		pct := func(s int64) float64 { return 100 * float64(s) / float64(totalStateSlots) }
+		fmt.Printf("  residency:       active %.1f%%, precharged %.1f%%, power-down %.1f%%, self-refresh %.1f%%\n",
+			pct(o.ActiveSlots), pct(o.PrechargedSlots), pct(o.PowerDownSlots), pct(o.SelfRefreshSlots))
+		fmt.Printf("  bg by state:     %.4g / %.4g / %.4g / %.4g J\n",
+			o.ActiveBgJ, o.PrechargedBgJ, o.PowerDownBgJ, o.SelfRefreshBgJ)
+	}
 	fmt.Printf("  throughput:      %.2f Mcmd/s, %.1f MB/s (%.3f s wall)\n",
 		o.CommandsPerSecond/1e6, o.MBPerSecond, o.WallSeconds)
 }

@@ -72,6 +72,21 @@ const (
 	OpRefresh   = desc.OpRefresh
 )
 
+// Trace-level power-state commands (pde, pdx, sre, srx): power-down and
+// self-refresh entry/exit. They are legal in traces but not in patterns;
+// the simulator's background integral drops to PowerDownPower (IDD2P) or
+// SelfRefreshPower (IDD6) for the slots between entry and exit.
+const (
+	OpPowerDownEnter   = trace.OpPowerDownEnter
+	OpPowerDownExit    = trace.OpPowerDownExit
+	OpSelfRefreshEnter = trace.OpSelfRefreshEnter
+	OpSelfRefreshExit  = trace.OpSelfRefreshExit
+)
+
+// TraceOpName renders any trace operation, including the power-state
+// commands Op.String does not know (use it for TraceResult.Counts keys).
+func TraceOpName(op Op) string { return trace.OpName(op) }
+
 // Re-exported engine types.
 type (
 	// Model is a resolved DRAM ready for power evaluation.
@@ -271,6 +286,24 @@ func StreamingWorkload(m *Model, bursts int, readShare float64, seed int64) []Co
 // (IDD7-like).
 func RandomClosedPageWorkload(m *Model, accesses int, readShare float64, seed int64) []Command {
 	return trace.RandomClosedPage(m, accesses, readShare, seed)
+}
+
+// RefreshOnlyWorkload generates the standby-with-refresh trace over the
+// given number of refresh intervals (IDD2N-like until combined with
+// InsertPowerDown).
+func RefreshOnlyWorkload(m *Model, intervals int) []Command {
+	return trace.RefreshOnly(m, intervals)
+}
+
+// InsertPowerDown inserts power-down entry/exit pairs into every idle gap
+// of at least minIdle slots of a sorted single-channel trace, keeping the
+// result timing-legal (tCKEmin residency, tXP exit-to-valid). minIdle < 1
+// selects the smallest insertable window. This is the controller-side
+// power-management policy of the paper's Section V applied to a trace:
+// the returned trace's background energy drops by the power-down
+// residency times PowerDownSavings.
+func InsertPowerDown(m *Model, cmds []Command, minIdle int64) []Command {
+	return trace.WithPowerDown(m, cmds, minIdle)
 }
 
 // RunTrace executes a trace against the model and reports the energy

@@ -243,3 +243,49 @@ func (m *Model) PowerDownSavings() float64 {
 	}
 	return 1 - float64(m.PowerDownPower())/bg
 }
+
+// SelfRefreshFactors describe the residue of the background power in the
+// self-refresh state (CKE low, external clock stopped, DLL off): only a
+// minimal bias survives, the input clock stage is quiesced, and the
+// always-on logic is reduced to the internal refresh oscillator. On top
+// of that residue the device pays for the refreshes it now performs
+// itself — one all-bank refresh per refresh interval, the same energy
+// the controller would otherwise issue as explicit ref commands.
+const (
+	srLogicFactor    = 0.02 // internal oscillator + refresh counter only
+	srConstantFactor = 0.15 // DLL off, minimal receiver bias retained
+	srWireFactor     = 0.02 // external clock stopped; leakage-level residue
+)
+
+// SelfRefreshPower returns the power of the self-refresh state: the
+// scaled-down background residue plus the internally generated refresh
+// stream (OpEnergy(ref) amortized over the refresh interval). This is the
+// IDD6 analogue of PowerDownPower/IDD2P and sits below both — the
+// datasheet ordering IDD6 < IDD2P < IDD2N is pinned by tests.
+func (m *Model) SelfRefreshPower() units.Power {
+	bg := m.Background()
+	var p float64
+	for _, it := range bg.Items {
+		switch {
+		case it.Name == "constant current":
+			p += float64(it.Power) * srConstantFactor
+		case len(it.Name) > 5 && it.Name[:5] == "logic":
+			p += float64(it.Power) * srLogicFactor
+		default: // clock / control wires
+			p += float64(it.Power) * srWireFactor
+		}
+	}
+	if ival := m.D.Spec.RefreshInterval; ival > 0 {
+		p += float64(m.OpEnergy(desc.OpRefresh)) / float64(ival)
+	}
+	return units.Power(p)
+}
+
+// IDD6 returns the self-refresh current, the datasheet ballpark the
+// trace simulator's self-refresh residency accounting draws.
+func (m *Model) IDD6() units.Current {
+	if v := m.D.Electrical.Vdd; v > 0 {
+		return units.Current(float64(m.SelfRefreshPower()) / float64(v))
+	}
+	return 0
+}

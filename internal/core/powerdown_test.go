@@ -50,6 +50,38 @@ func TestPowerDownScalesWithConstantCurrent(t *testing.T) {
 	}
 }
 
+func TestSelfRefresh(t *testing.T) {
+	m := build(t)
+	sr := m.SelfRefreshPower()
+	if sr <= 0 {
+		t.Fatalf("self-refresh power: %v", sr)
+	}
+	// Self-refresh keeps only the internal oscillator, the refresh stream
+	// and a leakage-level residue: it must undercut precharge power-down,
+	// which in turn undercuts standby.
+	if sr >= m.PowerDownPower() {
+		t.Errorf("self-refresh (%v) should be below power-down (%v)", sr, m.PowerDownPower())
+	}
+	// IDD6 for a DDR3 part: single-digit mA.
+	idd6 := m.IDD6().Milliamps()
+	if idd6 <= 0 || idd6 > 12 {
+		t.Errorf("IDD6 %.2f mA outside datasheet ballpark", idd6)
+	}
+	// Datasheet ordering: IDD6 < IDD2P < IDD2N.
+	if !(m.IDD6() < m.IDD2P() && m.IDD2P() < m.IDD().IDD2N) {
+		t.Errorf("current ordering violated: IDD6 %v, IDD2P %v, IDD2N %v",
+			m.IDD6(), m.IDD2P(), m.IDD().IDD2N)
+	}
+}
+
+func TestSelfRefreshZeroVdd(t *testing.T) {
+	m := build(t)
+	m.D.Electrical.Vdd = 0
+	if got := m.IDD6(); got != 0 {
+		t.Errorf("IDD6 with zero Vdd: %v", got)
+	}
+}
+
 func TestPowerDownZeroVdd(t *testing.T) {
 	d := desc.Sample1GbDDR3()
 	m, err := Build(d)

@@ -49,11 +49,18 @@ type Options struct {
 // calls, typically across concurrent server requests. Jobs from separate
 // calls interleave on the same workers, which caps the process's total
 // evaluation parallelism at the pool size regardless of request
-// concurrency. Jobs must not themselves call Run/Map on the same pool:
-// a job waiting for pool capacity from inside a pool worker can deadlock.
+// concurrency. A Run/Map call issued from inside a pool worker (a job
+// that itself fans out) is detected and executed inline on that worker
+// instead of being resubmitted — resubmission could deadlock with every
+// worker waiting for capacity only they can free. Inline execution keeps
+// the deterministic result order; it merely forgoes extra parallelism for
+// the nested batch.
 type Pool struct {
 	jobs chan func()
 	size int
+	// workerIDs holds the goroutine IDs of the pool's workers, so run can
+	// recognize a re-entrant submission from one of its own workers.
+	workerIDs sync.Map // map[int64]struct{}
 }
 
 // NewPool starts a pool of the given size (<= 0 selects runtime.NumCPU()).
@@ -64,12 +71,32 @@ func NewPool(size int) *Pool {
 	p := &Pool{jobs: make(chan func()), size: size}
 	for i := 0; i < size; i++ {
 		go func() {
+			p.workerIDs.Store(goid(), struct{}{})
+			defer p.workerIDs.Delete(goid())
 			for job := range p.jobs {
 				job()
 			}
 		}()
 	}
 	return p
+}
+
+// goid returns the current goroutine's ID, parsed from the runtime.Stack
+// header ("goroutine 123 [running]:"). The runtime intentionally offers
+// no cheaper accessor; one small fixed-buffer Stack call per Pool.run
+// submission (not per job) is an acceptable price for making re-entrant
+// submissions safe.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
 }
 
 // Size returns the worker count.
@@ -80,8 +107,15 @@ func (p *Pool) Size() int { return p.size }
 func (p *Pool) Close() { close(p.jobs) }
 
 // run executes the jobs on the shared workers and blocks until all are
-// done. Result order is by job index, as in Run.
+// done. Result order is by job index, as in Run. Called from inside one
+// of p's own workers it executes the jobs inline instead (see Pool).
 func (p *Pool) run(n int, exec func(i int)) {
+	if _, reentrant := p.workerIDs.Load(goid()); reentrant {
+		for i := 0; i < n; i++ {
+			exec(i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {

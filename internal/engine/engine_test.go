@@ -216,3 +216,51 @@ func TestPoolWorkersOneStaysSerial(t *testing.T) {
 		t.Fatalf("serial-with-pool run: out=%v err=%v done=%v", out, err, done)
 	}
 }
+
+func TestReentrantRunOnPoolExecutesInline(t *testing.T) {
+	// A job that itself calls Run/Map on the same pool used to deadlock
+	// once every worker was occupied: the inner submission waited for a
+	// slot only the waiting workers could free. Re-entrant submissions are
+	// now detected and executed inline on the submitting worker.
+	pool := NewPool(2)
+	defer pool.Close()
+
+	run := func() error {
+		outer := make([]func() (int, error), 4)
+		for i := range outer {
+			i := i
+			outer[i] = func() (int, error) {
+				inner := []func() (int, error){
+					func() (int, error) { return 10 * i, nil },
+					func() (int, error) { return 10*i + 1, nil },
+				}
+				vals, err := Run(inner, Options{Pool: pool})
+				if err != nil {
+					return 0, err
+				}
+				return vals[0] + vals[1], nil
+			}
+		}
+		out, err := Run(outer, Options{Pool: pool})
+		if err != nil {
+			return err
+		}
+		for i, v := range out {
+			if want := 20*i + 1; v != want {
+				return fmt.Errorf("job %d = %d, want %d", i, v, want)
+			}
+		}
+		return nil
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Run on the shared pool deadlocked")
+	}
+}

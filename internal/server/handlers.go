@@ -142,6 +142,7 @@ type IDDResponse struct {
 	IDD4R float64 `json:"idd4r"`
 	IDD4W float64 `json:"idd4w"`
 	IDD5  float64 `json:"idd5"`
+	IDD6  float64 `json:"idd6"`
 	IDD7  float64 `json:"idd7"`
 }
 
@@ -179,6 +180,7 @@ func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
 			IDD4R: idd.IDD4R.Milliamps(),
 			IDD4W: idd.IDD4W.Milliamps(),
 			IDD5:  idd.IDD5.Milliamps(),
+			IDD6:  m.IDD6().Milliamps(),
 			IDD7:  idd.IDD7.Milliamps(),
 		},
 		Result: PatternResponse{
@@ -335,45 +337,63 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// TraceResponse is the POST /v1/trace body: the merged replay accounting.
+// TraceResponse is the POST /v1/trace body: the merged replay accounting,
+// including the per-power-state residency and background breakdown (over
+// all channels, so the four slot counters sum to channels x slots).
 type TraceResponse struct {
-	ModelKey        string           `json:"model_key"`
-	Channels        int              `json:"channels"`
-	Commands        int64            `json:"commands"`
-	Slots           int64            `json:"slots"`
-	DurationSeconds float64          `json:"duration_seconds"`
-	CommandEnergyJ  float64          `json:"command_energy_j"`
-	BackgroundJ     float64          `json:"background_energy_j"`
-	TotalJ          float64          `json:"total_energy_j"`
-	AveragePowerW   float64          `json:"average_power_w"`
-	AverageCurrentA float64          `json:"average_current_a"`
-	Bits            int64            `json:"bits"`
-	EnergyPerBitPJ  float64          `json:"energy_per_bit_pj"`
-	BusUtilization  float64          `json:"bus_utilization"`
-	Counts          map[string]int64 `json:"counts"`
+	ModelKey         string           `json:"model_key"`
+	Channels         int              `json:"channels"`
+	Commands         int64            `json:"commands"`
+	Slots            int64            `json:"slots"`
+	DurationSeconds  float64          `json:"duration_seconds"`
+	CommandEnergyJ   float64          `json:"command_energy_j"`
+	BackgroundJ      float64          `json:"background_energy_j"`
+	TotalJ           float64          `json:"total_energy_j"`
+	AveragePowerW    float64          `json:"average_power_w"`
+	AverageCurrentA  float64          `json:"average_current_a"`
+	Bits             int64            `json:"bits"`
+	EnergyPerBitPJ   float64          `json:"energy_per_bit_pj"`
+	BusUtilization   float64          `json:"bus_utilization"`
+	ActiveSlots      int64            `json:"active_slots"`
+	PrechargedSlots  int64            `json:"precharged_slots"`
+	PowerDownSlots   int64            `json:"power_down_slots"`
+	SelfRefreshSlots int64            `json:"self_refresh_slots"`
+	ActiveBgJ        float64          `json:"active_background_j"`
+	PrechargedBgJ    float64          `json:"precharged_background_j"`
+	PowerDownBgJ     float64          `json:"power_down_background_j"`
+	SelfRefreshBgJ   float64          `json:"self_refresh_background_j"`
+	Counts           map[string]int64 `json:"counts"`
 }
 
 // TraceResponseFor converts a replay result (shared with the bit-identity
 // tests, like EvaluateResponseFor).
 func TraceResponseFor(res trace.Result, key string, channels int) TraceResponse {
 	out := TraceResponse{
-		ModelKey:        key,
-		Channels:        channels,
-		Slots:           res.Slots,
-		DurationSeconds: float64(res.Duration),
-		CommandEnergyJ:  float64(res.CommandEnergy),
-		BackgroundJ:     float64(res.Background),
-		TotalJ:          float64(res.Total),
-		AveragePowerW:   float64(res.AveragePower),
-		AverageCurrentA: float64(res.AverageCurrent),
-		Bits:            res.Bits,
-		EnergyPerBitPJ:  float64(res.EnergyPerBit) * 1e12,
-		BusUtilization:  res.BusUtilization,
-		Counts:          map[string]int64{},
+		ModelKey:         key,
+		Channels:         channels,
+		Slots:            res.Slots,
+		DurationSeconds:  float64(res.Duration),
+		CommandEnergyJ:   float64(res.CommandEnergy),
+		BackgroundJ:      float64(res.Background),
+		TotalJ:           float64(res.Total),
+		AveragePowerW:    float64(res.AveragePower),
+		AverageCurrentA:  float64(res.AverageCurrent),
+		Bits:             res.Bits,
+		EnergyPerBitPJ:   float64(res.EnergyPerBit) * 1e12,
+		BusUtilization:   res.BusUtilization,
+		ActiveSlots:      res.ActiveSlots,
+		PrechargedSlots:  res.PrechargedSlots,
+		PowerDownSlots:   res.PowerDownSlots,
+		SelfRefreshSlots: res.SelfRefreshSlots,
+		ActiveBgJ:        float64(res.ActiveBackground),
+		PrechargedBgJ:    float64(res.PrechargedBackground),
+		PowerDownBgJ:     float64(res.PowerDownBackground),
+		SelfRefreshBgJ:   float64(res.SelfRefreshBackground),
+		Counts:           map[string]int64{},
 	}
 	for op, n := range res.Counts {
 		out.Commands += n
-		out.Counts[op.String()] = n
+		out.Counts[trace.OpName(op)] = n
 	}
 	return out
 }
@@ -440,6 +460,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return
 	}
+	s.traceSlots.Add(res.Slots)
+	s.tracePowerDownSlots.Add(res.PowerDownSlots)
+	s.traceSelfRefreshSlots.Add(res.SelfRefreshSlots)
 	writeJSON(w, http.StatusOK, TraceResponseFor(res, key, channels))
 }
 

@@ -117,6 +117,13 @@ type Server struct {
 	rejected *metrics.Counter
 	panics   *metrics.Counter
 	readyG   *metrics.Gauge
+
+	// Trace replay accounting: total slots and low-power residency slots
+	// served by /v1/trace, so operators can see the fleet-wide power-down
+	// and self-refresh share their workloads would enjoy.
+	traceSlots            *metrics.Counter
+	tracePowerDownSlots   *metrics.Counter
+	traceSelfRefreshSlots *metrics.Counter
 }
 
 // New builds a server. The caller owns the returned server's lifecycle:
@@ -136,6 +143,12 @@ func New(opts Options) *Server {
 	s.rejected = s.reg.Counter("dramserved_rejected_total", "", "Requests rejected with 429 by the admission queue.")
 	s.panics = s.reg.Counter("dramserved_handler_panics_total", "", "Recovered handler panics.")
 	s.readyG = s.reg.Gauge("dramserved_ready", "", "1 while serving, 0 before startup and while draining.")
+	s.traceSlots = s.reg.Counter("dramserved_trace_slots_total", "",
+		"Control-clock slots replayed by /v1/trace (per channel).")
+	s.tracePowerDownSlots = s.reg.Counter("dramserved_trace_powerdown_slots_total", "",
+		"Replayed slots spent in precharge power-down (IDD2P residency).")
+	s.traceSelfRefreshSlots = s.reg.Counter("dramserved_trace_selfrefresh_slots_total", "",
+		"Replayed slots spent in self-refresh (IDD6 residency).")
 
 	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))

@@ -660,3 +660,100 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("GET /v1/evaluate = %d, want 405", resp.StatusCode)
 	}
 }
+
+// Acceptance: a ~90%-power-down-residency trace served through /v1/trace
+// reports the power-state breakdown bit-identically to the library replay,
+// with the background within the residency-weighted sum, and the trace
+// residency counters exported on /metrics.
+func TestTracePowerStateBreakdownAndMetrics(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	d := desc.Sample1GbDDR3()
+	m, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := trace.WithPowerDown(m, trace.RefreshOnly(m, 50), 1)
+	var tr bytes.Buffer
+	if err := trace.WriteTrace(&tr, cmds); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, hs.URL+"/v1/trace", tr.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	res, err := trace.Replay(m, bytes.NewReader(tr.Bytes()), trace.ReplayOptions{Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(TraceResponseFor(res, DescriptorKey(d), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served power-state result differs from library replay:\nserved: %s\nlib:    %s", body, want)
+	}
+
+	var out TraceResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if share := float64(out.PowerDownSlots) / float64(out.Slots); share < 0.9 {
+		t.Errorf("power-down residency %.2f, want >= 0.9", share)
+	}
+	if out.Counts["pde"] == 0 || out.Counts["pde"] != out.Counts["pdx"] {
+		t.Errorf("power-state counts: %v", out.Counts)
+	}
+	clock := float64(m.D.Spec.ControlClock)
+	wantBg := float64(m.Background().Power)*(float64(out.ActiveSlots+out.PrechargedSlots)/clock) +
+		float64(m.PowerDownPower())*(float64(out.PowerDownSlots)/clock)
+	if gotBg := out.BackgroundJ; gotBg < 0.95*wantBg || gotBg > 1.05*wantBg {
+		t.Errorf("served background %g outside 5%% of residency-weighted %g", gotBg, wantBg)
+	}
+
+	// The residency counters feed the metrics endpoint.
+	if got := s.traceSlots.Value(); got != res.Slots {
+		t.Errorf("trace_slots_total = %d, want %d", got, res.Slots)
+	}
+	if got := s.tracePowerDownSlots.Value(); got != res.PowerDownSlots {
+		t.Errorf("trace_powerdown_slots_total = %d, want %d", got, res.PowerDownSlots)
+	}
+	if got := s.traceSelfRefreshSlots.Value(); got != 0 {
+		t.Errorf("trace_selfrefresh_slots_total = %d, want 0", got)
+	}
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"dramserved_trace_slots_total",
+		"dramserved_trace_powerdown_slots_total",
+		"dramserved_trace_selfrefresh_slots_total",
+	} {
+		if !strings.Contains(string(mb), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+// The IDD block served by /v1/evaluate includes the self-refresh current.
+func TestEvaluateReportsIDD6(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, body := post(t, hs.URL+"/v1/evaluate", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out EvaluateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.IDDMA.IDD6 <= 0 || out.IDDMA.IDD6 >= out.IDDMA.IDD2P {
+		t.Errorf("IDD6 %.3f mA should be positive and below IDD2P %.3f mA", out.IDDMA.IDD6, out.IDDMA.IDD2P)
+	}
+}

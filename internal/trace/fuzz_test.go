@@ -28,6 +28,7 @@ func FuzzTraceScanner(f *testing.F) {
 	f.Add([]byte("9223372036854775807 nop\n"))
 	f.Add([]byte("-1 act 0 0\n"))
 	f.Add([]byte("0 wr 0\n0 write 0 0 0\n"))
+	f.Add([]byte("0 ref\n200 pde\n800 pdx\n900 sre\n12000 SRX\n"))
 	f.Add([]byte("0"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,92 @@
+package trace
+
+// Power-state commands and background states: the trace-level extension
+// of the command set that makes low-power residency (Section V's
+// controller-side power management; IDD2P / IDD6 in the datasheet
+// verification of Section IV.A) expressible in a trace. The four ops are
+// deliberately defined here, not in desc: patterns (the paper's canned
+// IDD loops) never contain them, only traces do, so the pattern language
+// and its per-op charge ledgers stay untouched.
+
+import "drampower/internal/desc"
+
+// Trace-level operations, contiguous after desc's pattern ops so the
+// simulator's fixed per-op arrays extend without a second index space.
+const (
+	// OpPowerDownEnter ("pde") enters precharge power-down: CKE low with
+	// all banks closed. Background drops to PowerDownPower (IDD2P).
+	OpPowerDownEnter = desc.Op(desc.NumOps) + iota
+	// OpPowerDownExit ("pdx") raises CKE again; row/column/refresh
+	// commands become legal tXP slots later.
+	OpPowerDownExit
+	// OpSelfRefreshEnter ("sre") enters self-refresh: the device refreshes
+	// itself and background drops to SelfRefreshPower (IDD6). Controller
+	// refresh commands are neither needed nor legal until exit.
+	OpSelfRefreshEnter
+	// OpSelfRefreshExit ("srx") leaves self-refresh; row/column/refresh
+	// commands become legal tXS slots later.
+	OpSelfRefreshExit
+)
+
+// numTraceOps is the size of per-op ledgers covering pattern ops plus the
+// power-state commands. Every op a Scanner produces is in [0, numTraceOps).
+const numTraceOps = desc.NumOps + 4
+
+// OpName renders any trace op, including the power-state commands that
+// desc.Op.String does not know. It is the single naming path for
+// Command.String, AppendCommand and the Counts maps surfaced by the CLI
+// and the server.
+func OpName(op desc.Op) string {
+	switch op {
+	case OpPowerDownEnter:
+		return "pde"
+	case OpPowerDownExit:
+		return "pdx"
+	case OpSelfRefreshEnter:
+		return "sre"
+	case OpSelfRefreshExit:
+		return "srx"
+	}
+	return op.String()
+}
+
+// State is a background power state of the simulated device. At any slot
+// the device is in exactly one state; the simulator accounts residency
+// per state and integrates each state's power over its slots.
+type State int
+
+const (
+	// StateActive: at least one bank holds an open row (active standby,
+	// IDD3N). The model does not distinguish active from precharged
+	// standby leakage (IDD3N == IDD2N, see core.IDD), but the residency
+	// split is still reported so the accounting stays honest when it does.
+	StateActive State = iota
+	// StatePrecharged: all banks closed, clock running (precharge
+	// standby, IDD2N).
+	StatePrecharged
+	// StatePowerDown: precharge power-down, CKE low (IDD2P).
+	StatePowerDown
+	// StateSelfRefresh: self-refresh (IDD6).
+	StateSelfRefresh
+	// NumStates sizes per-state residency arrays.
+	NumStates
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StatePrecharged:
+		return "precharged"
+	case StatePowerDown:
+		return "power_down"
+	case StateSelfRefresh:
+		return "self_refresh"
+	}
+	return "unknown"
+}
+
+// lowPower reports whether the state is a CKE-low state in which
+// row/column/refresh commands are illegal.
+func (s State) lowPower() bool { return s == StatePowerDown || s == StateSelfRefresh }

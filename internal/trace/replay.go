@@ -78,12 +78,26 @@ func (r *Replayer) Channels() int { return len(r.sims) }
 // ReplayScanner streams the scanner's commands through the per-channel
 // simulators: each round shards up to replayBatch commands by global bank
 // index and issues the per-channel batches concurrently on the engine
-// pool. It stops at the first parse error or timing violation (for
-// concurrent rounds, the first violation in channel order).
+// pool. It stops at the first parse error or timing violation; when
+// several channels of one round violate, the reported violation is the
+// one at the smallest slot (ties resolving to the lowest channel), not
+// merely the lowest-channel one — a slot-10 violation on channel 3 is
+// never masked by a slot-900 violation on channel 0.
 func (r *Replayer) ReplayScanner(sc *Scanner) error {
 	shards := make([][]Command, len(r.sims))
-	issue := func(i int, cmds []Command) (struct{}, error) {
-		return struct{}{}, r.sims[i].Run(cmds)
+	// Each channel returns its own violation as a value (not as the job
+	// error) so the earliest-slot one can be selected across channels;
+	// Run only ever fails with a *TimingError.
+	issue := func(i int, cmds []Command) (*TimingError, error) {
+		err := r.sims[i].Run(cmds)
+		if err == nil {
+			return nil, nil
+		}
+		te, ok := err.(*TimingError)
+		if !ok {
+			return nil, err
+		}
+		return te, nil
 	}
 	for {
 		for i := range shards {
@@ -107,8 +121,18 @@ func (r *Replayer) ReplayScanner(sc *Scanner) error {
 		if n == 0 {
 			break
 		}
-		if _, err := engine.Map(shards, issue, r.opts); err != nil {
+		violations, err := engine.Map(shards, issue, r.opts)
+		if err != nil {
 			return err
+		}
+		var first *TimingError
+		for _, te := range violations {
+			if te != nil && (first == nil || te.Cmd.Slot < first.Cmd.Slot) {
+				first = te
+			}
+		}
+		if first != nil {
+			return first
 		}
 	}
 	return sc.Err()
@@ -132,10 +156,12 @@ func (r *Replayer) Now() int64 {
 
 // Result closes the replay at endSlot (extended to the latest channel's
 // slot if smaller) and merges the per-channel results deterministically:
-// energies, bits and counts sum in channel order over the common
-// duration, rates are recomputed from the merged totals, and the bus
-// utilization averages across the channels (each channel owns a data
-// bus). With one channel the result is exactly Simulator.Result's.
+// energies, bits, counts and the per-state residency/background fields
+// sum in channel order over the common duration (the four slot counters
+// therefore sum to Channels x Slots), rates are recomputed from the
+// merged totals, and the bus utilization averages across the channels
+// (each channel owns a data bus). With one channel the result is exactly
+// Simulator.Result's.
 func (r *Replayer) Result(endSlot int64) Result {
 	if e := r.Now(); endSlot < e {
 		endSlot = e
@@ -151,9 +177,17 @@ func (r *Replayer) Result(endSlot int64) Result {
 		merged.Background += cr.Background
 		merged.Total += cr.Total
 		merged.Bits += cr.Bits
+		merged.ActiveSlots += cr.ActiveSlots
+		merged.PrechargedSlots += cr.PrechargedSlots
+		merged.PowerDownSlots += cr.PowerDownSlots
+		merged.SelfRefreshSlots += cr.SelfRefreshSlots
+		merged.ActiveBackground += cr.ActiveBackground
+		merged.PrechargedBackground += cr.PrechargedBackground
+		merged.PowerDownBackground += cr.PowerDownBackground
+		merged.SelfRefreshBackground += cr.SelfRefreshBackground
 		for op, n := range cr.Counts {
 			if merged.Counts == nil {
-				merged.Counts = make(map[desc.Op]int64, desc.NumOps)
+				merged.Counts = make(map[desc.Op]int64, numTraceOps)
 			}
 			merged.Counts[op] += n
 		}

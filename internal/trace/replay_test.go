@@ -173,6 +173,88 @@ func TestMillionCommandStreamMatchesRun(t *testing.T) {
 	}
 }
 
+// Satellite bugfix: when several channels violate in the same round, the
+// replayer must report the violation at the smallest slot, not the one on
+// the lowest channel. Here channel 0 violates at slot 900 and channel 1 at
+// slot 10; the old channel-order selection reported slot 900.
+func TestReplayReportsEarliestViolation(t *testing.T) {
+	m := model(t)
+	banks := m.D.Spec.Banks()
+	src := strings.Join([]string{
+		"0 act 0 1",
+		"10 rd " + strconv.Itoa(banks) + " 1", // channel 1: bank not active
+		"900 act 0 2",                         // channel 0: bank already active
+	}, "\n")
+	_, err := Replay(m, strings.NewReader(src), ReplayOptions{Channels: 2, Workers: 2})
+	var te *TimingError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T (%v), want *TimingError", err, err)
+	}
+	if te.Cmd.Slot != 10 {
+		t.Errorf("reported violation at slot %d, want the earliest (10): %v", te.Cmd.Slot, te)
+	}
+	if !strings.Contains(te.Error(), "not active") {
+		t.Errorf("violation %q should be channel 1's bank-not-active", te)
+	}
+}
+
+// Same-slot violations on two channels resolve to the lowest channel.
+func TestReplayViolationTieResolvesToLowestChannel(t *testing.T) {
+	m := model(t)
+	banks := m.D.Spec.Banks()
+	src := strings.Join([]string{
+		"10 rd 0 1",                          // channel 0: bank not active
+		"10 pdx " + strconv.Itoa(banks) + "", // channel 1: not in power-down
+	}, "\n")
+	_, err := Replay(m, strings.NewReader(src), ReplayOptions{Channels: 2, Workers: 2})
+	var te *TimingError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T (%v), want *TimingError", err, err)
+	}
+	if te.Cmd.Slot != 10 || !strings.Contains(te.Error(), "not active") {
+		t.Errorf("tie at slot 10 should report channel 0's violation, got %v", te)
+	}
+}
+
+// Satellite: merging when channel 0 issued zero commands — its Result has
+// a nil Counts map, and the merge must still seed the map from the later
+// channels and keep the residency/background sums intact.
+func TestReplayMergeEmptyFirstChannel(t *testing.T) {
+	m := model(t)
+	banks := m.D.Spec.Banks()
+	c1 := RandomClosedPage(m, 80, 0.5, 13)
+	data := traceText(t, Interleave([][]Command{nil, c1}, banks))
+	got, err := Replay(m, bytes.NewReader(data), ReplayOptions{Channels: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(m, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts == nil {
+		t.Fatal("merged Counts map is nil despite channel 1 activity")
+	}
+	for _, op := range desc.AllOps {
+		if got.Counts[op] != want.Counts[op] {
+			t.Errorf("count %v: got %d, want %d", op, got.Counts[op], want.Counts[op])
+		}
+	}
+	if got.Bits != want.Bits {
+		t.Errorf("bits: got %d, want %d", got.Bits, want.Bits)
+	}
+	// Channel 0 idles in precharged standby for the whole duration, so the
+	// merged background is channel 1's plus one full standby integral, and
+	// the residency counters cover both channels.
+	idle := New(m).Result(got.Slots)
+	if got.Background != want.Background+idle.Background {
+		t.Errorf("background: got %v, want %v + idle %v", got.Background, want.Background, idle.Background)
+	}
+	if sum := got.ActiveSlots + got.PrechargedSlots + got.PowerDownSlots + got.SelfRefreshSlots; sum != 2*got.Slots {
+		t.Errorf("residency sum %d, want 2 x %d", sum, got.Slots)
+	}
+}
+
 func TestInterleave(t *testing.T) {
 	c0 := []Command{{Slot: 0, Op: desc.OpActivate, Bank: 1}, {Slot: 10, Op: desc.OpRead, Bank: 1}}
 	c1 := []Command{{Slot: 5, Op: desc.OpActivate, Bank: 0}, {Slot: 10, Op: desc.OpRead, Bank: 0}}

@@ -11,16 +11,20 @@ package trace
 //
 // with fields separated by spaces or tabs, '#' starting a comment that
 // runs to the end of the line, and blank lines ignored. <op> is a
-// pattern-language mnemonic (nop, act, pre, rd, wrt, ref) or one of the
+// pattern-language mnemonic (nop, act, pre, rd, wrt, ref), one of the
 // aliases desc.ParseOp accepts (activate, precharge, read, write, wr,
-// refresh), matched ASCII-case-insensitively. <bank> and <row> default
-// to 0 when omitted (refresh and nop commands usually carry neither).
+// refresh), or a power-state command (pde, pdx, sre, srx — power-down and
+// self-refresh entry/exit), matched ASCII-case-insensitively. <bank> and
+// <row> default to 0 when omitted (refresh, nop and power-state commands
+// usually carry neither).
 //
-//	# one closed-page access on bank 2
+//	# one closed-page access on bank 2, then a power-down window
 //	0   act 2 17
 //	11  rd  2 17
 //	28  pre 2 17
 //	100 ref
+//	200 pde
+//	800 pdx
 
 import (
 	"bufio"
@@ -145,7 +149,7 @@ func parseLine(b []byte, line int) (cmd Command, ok bool, err error) {
 	j = endOfField(b, i)
 	op, opOK := parseOpBytes(b[i:j])
 	if !opOK {
-		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("unknown operation %q (want nop, act, pre, rd, wrt or ref)", field(b, i))}
+		return Command{}, false, &ParseError{Line: line, Col: i + 1, Msg: fmt.Sprintf("unknown operation %q (want nop, act, pre, rd, wrt, ref, pde, pdx, sre or srx)", field(b, i))}
 	}
 	cmd.Op = op
 
@@ -241,6 +245,14 @@ func parseOpBytes(b []byte) (desc.Op, bool) {
 		return desc.OpWrite, true
 	case eqFold(b, "ref"), eqFold(b, "refresh"):
 		return desc.OpRefresh, true
+	case eqFold(b, "pde"):
+		return OpPowerDownEnter, true
+	case eqFold(b, "pdx"):
+		return OpPowerDownExit, true
+	case eqFold(b, "sre"):
+		return OpSelfRefreshEnter, true
+	case eqFold(b, "srx"):
+		return OpSelfRefreshExit, true
 	}
 	return 0, false
 }
@@ -282,7 +294,7 @@ func WriteTrace(w io.Writer, cmds []Command) error {
 func AppendCommand(dst []byte, c Command) []byte {
 	dst = strconv.AppendInt(dst, c.Slot, 10)
 	dst = append(dst, ' ')
-	dst = append(dst, c.Op.String()...)
+	dst = append(dst, OpName(c.Op)...)
 	dst = append(dst, ' ')
 	dst = strconv.AppendInt(dst, int64(c.Bank), 10)
 	dst = append(dst, ' ')

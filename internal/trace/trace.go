@@ -29,7 +29,7 @@ type Command struct {
 
 // String renders the command compactly.
 func (c Command) String() string {
-	return fmt.Sprintf("@%d %s b%d r%d", c.Slot, c.Op, c.Bank, c.Row)
+	return fmt.Sprintf("@%d %s b%d r%d", c.Slot, OpName(c.Op), c.Bank, c.Row)
 }
 
 // TimingError reports a constraint violation.
@@ -59,14 +59,19 @@ const ringSize = 8
 
 // Simulator executes a command trace against a model, enforcing timing and
 // accumulating energy. The Issue hot path is allocation-free: per-op
-// counters and energies live in fixed [desc.NumOps] arrays and the
-// activate history in a fixed ring buffer (see TestIssueZeroAllocs).
+// counters and energies live in fixed [numTraceOps] arrays, the per-state
+// residency in a fixed [NumStates] array, and the activate history in a
+// fixed ring buffer (see TestIssueZeroAllocs).
 type Simulator struct {
 	m *core.Model
 
 	// Timing constraints in slots.
 	tRC, tRCD, tRP, tRAS, tRRD, tFAW, tRFC int64
 	burstSlots                             int64
+	// Power-state timing constraints in slots: minimum CKE-low residency,
+	// power-down exit to first valid command, self-refresh exit to first
+	// valid command.
+	tCKE, tXP, tXS int64
 
 	banks    []bankState
 	actRing  [ringSize]int64 // last ringSize activate slots (circular)
@@ -76,10 +81,21 @@ type Simulator struct {
 	refUntil int64           // refresh completion
 	now      int64
 
-	counts    [desc.NumOps]int64
-	opEnergy  [desc.NumOps]float64 // per-op energy, hoisted from the model at New
-	cmdEnergy float64              // accumulated command energy (J)
-	bits      int64
+	// Power-state machine: the current background state, when it began,
+	// and the per-state slot residency accumulated at every transition.
+	state      State
+	stateSince int64
+	stateSlots [NumStates]int64
+	openBanks  int    // banks with an open row (drives Active vs Precharged)
+	lpEnter    int64  // slot of the last pde/sre, for the tCKEmin check
+	exitValid  int64  // first slot row/column/refresh commands are legal after pdx/srx
+	exitRule   string // "tXP" or "tXS", for rejection messages
+
+	counts     [numTraceOps]int64
+	opEnergy   [numTraceOps]float64 // per-op energy, hoisted from the model at New
+	statePower [NumStates]float64   // per-state background power (W), hoisted at New
+	cmdEnergy  float64              // accumulated command energy (J)
+	bits       int64
 }
 
 // New creates a simulator for the model.
@@ -114,16 +130,54 @@ func New(m *core.Model) *Simulator {
 		burstSlots: int64(m.BurstSlots()),
 		banks:      make([]bankState, spec.Banks()),
 	}
+	// Power-state timings, derived from the row timings the description
+	// already carries (the input language has no tCKE/tXP/tXS fields).
+	// The derivations land on the DDR3-1600 datasheet ballpark: tCKEmin
+	// ~ tRP/2 (4 nCK), tXP ~ tRCD/2 (5 nCK), tXS ~ tRFC + tRP
+	// (tRFC + 10 ns). See DESIGN §9.
+	s.tCKE = maxI64(3, s.tRP/2)
+	s.tXP = maxI64(3, (s.tRCD+1)/2)
+	s.tXS = s.tRFC + maxI64(2, s.tRP)
 	for op, e := range m.OpEnergies() {
 		s.opEnergy[op] = float64(e)
 	}
+	// Power-state entry/exit commands carry no charge events of their own
+	// (CKE is a control pin); their energy effect is entirely the
+	// background-state change, so their opEnergy slots stay zero.
+	s.statePower[StateActive] = float64(m.Background().Power)
+	s.statePower[StatePrecharged] = float64(m.Background().Power)
+	s.statePower[StatePowerDown] = float64(m.PowerDownPower())
+	s.statePower[StateSelfRefresh] = float64(m.SelfRefreshPower())
+	s.state = StatePrecharged
 	for i := range s.banks {
 		s.banks[i].actSlot = math.MinInt64 / 2
 		s.banks[i].preSlot = math.MinInt64 / 2
 	}
 	s.busUntil = math.MinInt64 / 2
 	s.refUntil = math.MinInt64 / 2
+	s.exitValid = math.MinInt64 / 2
 	return s
+}
+
+// setState closes the residency of the current background state at slot
+// and enters the next one. Allocation-free (called on the Issue hot path).
+func (s *Simulator) setState(st State, slot int64) {
+	s.stateSlots[s.state] += slot - s.stateSince
+	s.state = st
+	s.stateSince = slot
+}
+
+// checkPowerState rejects row/column/refresh commands while the device is
+// in a CKE-low state or still inside the tXP/tXS exit-to-valid window.
+// Only the rejection path allocates.
+func (s *Simulator) checkPowerState(c Command) error {
+	if s.state.lowPower() {
+		return &TimingError{c, "device in " + s.state.String() + " state"}
+	}
+	if c.Slot < s.exitValid {
+		return &TimingError{c, fmt.Sprintf("%s: low-power exit not complete until slot %d", s.exitRule, s.exitValid)}
+	}
+	return nil
 }
 
 func maxI64(a, b int64) int64 {
@@ -151,6 +205,13 @@ func (s *Simulator) Now() int64 { return s.now }
 // These semantics are pinned by TestIssueAtContendedBusSlot. The accept
 // path performs no heap allocations; only a rejection allocates (for its
 // *TimingError).
+//
+// Power-state commands (OpPowerDownEnter/Exit, OpSelfRefreshEnter/Exit)
+// drive the background-state machine: entry requires all banks closed, no
+// refresh in progress and no burst in flight; exit is legal tCKEmin slots
+// after entry; and row/column/refresh commands stay illegal until tXP
+// (after pdx) or tXS (after srx) has elapsed. Bank and Row are ignored on
+// these commands (CKE is a rank-wide pin).
 func (s *Simulator) Issue(c Command) error {
 	if c.Slot < s.now {
 		return &TimingError{c, fmt.Sprintf("out of order (now at slot %d)", s.now)}
@@ -161,6 +222,9 @@ func (s *Simulator) Issue(c Command) error {
 	b := &s.banks[c.Bank]
 	switch c.Op {
 	case desc.OpActivate:
+		if err := s.checkPowerState(c); err != nil {
+			return err
+		}
 		if b.active {
 			return &TimingError{c, "bank already active"}
 		}
@@ -190,7 +254,14 @@ func (s *Simulator) Issue(c Command) error {
 		s.actRing[s.actPos] = c.Slot
 		s.actPos = (s.actPos + 1) & (ringSize - 1)
 		s.actCount++
+		s.openBanks++
+		if s.openBanks == 1 {
+			s.setState(StateActive, c.Slot)
+		}
 	case desc.OpRead, desc.OpWrite:
+		if err := s.checkPowerState(c); err != nil {
+			return err
+		}
 		if !b.active {
 			return &TimingError{c, "bank not active"}
 		}
@@ -206,6 +277,9 @@ func (s *Simulator) Issue(c Command) error {
 		s.busUntil = c.Slot + s.burstSlots
 		s.bits += int64(s.m.BitsPerBurst())
 	case desc.OpPrecharge:
+		if err := s.checkPowerState(c); err != nil {
+			return err
+		}
 		if !b.active {
 			return &TimingError{c, "bank not active"}
 		}
@@ -214,7 +288,14 @@ func (s *Simulator) Issue(c Command) error {
 		}
 		b.active = false
 		b.preSlot = c.Slot
+		s.openBanks--
+		if s.openBanks == 0 {
+			s.setState(StatePrecharged, c.Slot)
+		}
 	case desc.OpRefresh:
+		if err := s.checkPowerState(c); err != nil {
+			return err
+		}
 		for i := range s.banks {
 			if s.banks[i].active {
 				return &TimingError{c, fmt.Sprintf("bank %d active at refresh", i)}
@@ -224,13 +305,53 @@ func (s *Simulator) Issue(c Command) error {
 			return &TimingError{c, "tRFC: previous refresh in progress"}
 		}
 		s.refUntil = c.Slot + s.tRFC
+	case OpPowerDownEnter, OpSelfRefreshEnter:
+		if s.state.lowPower() {
+			return &TimingError{c, "already in " + s.state.String() + " state"}
+		}
+		if c.Slot < s.exitValid {
+			return &TimingError{c, fmt.Sprintf("%s: low-power exit not complete until slot %d", s.exitRule, s.exitValid)}
+		}
+		if s.openBanks > 0 {
+			return &TimingError{c, fmt.Sprintf("%d bank(s) open (precharge power-down/self-refresh require all banks closed)", s.openBanks)}
+		}
+		if c.Slot < s.refUntil {
+			return &TimingError{c, "tRFC: refresh in progress"}
+		}
+		if c.Slot < s.busUntil {
+			return &TimingError{c, fmt.Sprintf("data bus busy until slot %d", s.busUntil)}
+		}
+		st := StatePowerDown
+		if c.Op == OpSelfRefreshEnter {
+			st = StateSelfRefresh
+		}
+		s.setState(st, c.Slot)
+		s.lpEnter = c.Slot
+	case OpPowerDownExit:
+		if s.state != StatePowerDown {
+			return &TimingError{c, "not in power-down"}
+		}
+		if c.Slot < s.lpEnter+s.tCKE {
+			return &TimingError{c, fmt.Sprintf("tCKEmin: power-down entered at %d, earliest exit %d", s.lpEnter, s.lpEnter+s.tCKE)}
+		}
+		s.setState(StatePrecharged, c.Slot)
+		s.exitValid, s.exitRule = c.Slot+s.tXP, "tXP"
+	case OpSelfRefreshExit:
+		if s.state != StateSelfRefresh {
+			return &TimingError{c, "not in self-refresh"}
+		}
+		if c.Slot < s.lpEnter+s.tCKE {
+			return &TimingError{c, fmt.Sprintf("tCKEmin: self-refresh entered at %d, earliest exit %d", s.lpEnter, s.lpEnter+s.tCKE)}
+		}
+		s.setState(StatePrecharged, c.Slot)
+		s.exitValid, s.exitRule = c.Slot+s.tXS, "tXS"
 	case desc.OpNop:
-		// nothing
+		// nothing: legal in every state (DESELECT keeps CKE unchanged)
 	default:
 		return &TimingError{c, "unknown operation"}
 	}
 	s.now = c.Slot
-	// Every op the switch accepts is in [0, desc.NumOps), so these array
+	// Every op the switch accepts is in [0, numTraceOps), so these array
 	// reads are in range. The energy integration is a flat read of the
 	// per-op ledger hoisted from the model at New.
 	s.counts[c.Op]++
@@ -269,7 +390,10 @@ type Result struct {
 	Slots    int64
 	Duration units.Duration
 	// CommandEnergy is the accumulated per-command energy; Background the
-	// standby energy over the duration; Total their sum.
+	// residency-weighted standby energy over the duration (active standby
+	// while any bank is open, precharged standby otherwise, IDD2P-derived
+	// power during power-down, IDD6-derived power during self-refresh);
+	// Total their sum.
 	CommandEnergy units.Energy
 	Background    units.Energy
 	Total         units.Energy
@@ -287,24 +411,74 @@ type Result struct {
 	// clamped to [0, 1] (an endSlot that truncates a final burst would
 	// otherwise overcount the burst's full occupancy).
 	BusUtilization float64
+	// Per-state slot residency: every slot of the trace is in exactly one
+	// background state, so the four counters sum to Slots.
+	ActiveSlots      int64
+	PrechargedSlots  int64
+	PowerDownSlots   int64
+	SelfRefreshSlots int64
+	// Per-state background energy. Active and precharged standby draw the
+	// same model power (IDD3N == IDD2N, see core.IDD), so their split is
+	// informational; power-down and self-refresh draw PowerDownPower and
+	// SelfRefreshPower. Each entry is rounded independently, so their sum
+	// can differ from Background by an ulp: Background combines the
+	// equal-power active+precharged slots in one multiply to stay
+	// bit-identical to the pre-power-state engine on traces without
+	// power-state commands (pinned by TestGoldenResultUnchanged).
+	ActiveBackground      units.Energy
+	PrechargedBackground  units.Energy
+	PowerDownBackground   units.Energy
+	SelfRefreshBackground units.Energy
 }
 
 // Result closes the trace at the given end slot and reports the totals.
+// The background integral is residency-weighted: the trailing slots from
+// the last state change to endSlot are attributed to the state the
+// simulator is still in (Result does not mutate the simulator, so it can
+// be called repeatedly or mid-trace).
 func (s *Simulator) Result(endSlot int64) Result {
 	if endSlot < s.now {
 		endSlot = s.now
 	}
 	spec := s.m.D.Spec
-	dur := units.Duration(float64(endSlot) / float64(spec.ControlClock))
-	bg := float64(s.m.Background().Power) * float64(dur)
+	clock := float64(spec.ControlClock)
+	dur := units.Duration(float64(endSlot) / clock)
+	slots := s.stateSlots // copy; close the open residency without mutating s
+	if endSlot > s.stateSince {
+		slots[s.state] += endSlot - s.stateSince
+	}
+	// Residency-weighted background. Active and precharged standby share
+	// one power (IDD3N == IDD2N in this model), so their slots combine in
+	// a single multiply: a trace that never left the standby states
+	// integrates background exactly as the flat pre-power-state engine
+	// did, bit for bit. The low-power terms add literal 0.0 when unused.
+	standby := slots[StateActive] + slots[StatePrecharged]
+	bg := s.statePower[StatePrecharged] * (float64(standby) / clock)
+	if slots[StatePowerDown] > 0 {
+		bg += s.statePower[StatePowerDown] * (float64(slots[StatePowerDown]) / clock)
+	}
+	if slots[StateSelfRefresh] > 0 {
+		bg += s.statePower[StateSelfRefresh] * (float64(slots[StateSelfRefresh]) / clock)
+	}
 	total := s.cmdEnergy + bg
 	r := Result{
-		Slots:         endSlot,
-		Duration:      dur,
-		CommandEnergy: units.Energy(s.cmdEnergy),
-		Background:    units.Energy(bg),
-		Total:         units.Energy(total),
-		Bits:          s.bits,
+		Slots:            endSlot,
+		Duration:         dur,
+		CommandEnergy:    units.Energy(s.cmdEnergy),
+		Background:       units.Energy(bg),
+		Total:            units.Energy(total),
+		Bits:             s.bits,
+		ActiveSlots:      slots[StateActive],
+		PrechargedSlots:  slots[StatePrecharged],
+		PowerDownSlots:   slots[StatePowerDown],
+		SelfRefreshSlots: slots[StateSelfRefresh],
+		ActiveBackground: units.Energy(s.statePower[StateActive] * (float64(slots[StateActive]) / clock)),
+		PrechargedBackground: units.Energy(
+			s.statePower[StatePrecharged] * (float64(slots[StatePrecharged]) / clock)),
+		PowerDownBackground: units.Energy(
+			s.statePower[StatePowerDown] * (float64(slots[StatePowerDown]) / clock)),
+		SelfRefreshBackground: units.Energy(
+			s.statePower[StateSelfRefresh] * (float64(slots[StateSelfRefresh]) / clock)),
 	}
 	// The counts map is only materialized when something was issued; an
 	// empty trace reports a nil map instead of allocating one.
@@ -313,7 +487,7 @@ func (s *Simulator) Result(endSlot int64) Result {
 		issued += n
 	}
 	if issued > 0 {
-		r.Counts = make(map[desc.Op]int64, desc.NumOps)
+		r.Counts = make(map[desc.Op]int64, numTraceOps)
 		for op, n := range s.counts {
 			if n > 0 {
 				r.Counts[desc.Op(op)] = n
@@ -348,3 +522,13 @@ func (s *Simulator) TimingSlots() (tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64
 
 // RefreshCycleSlots exposes the resolved tRFC in slots.
 func (s *Simulator) RefreshCycleSlots() int64 { return s.tRFC }
+
+// PowerStateSlots exposes the resolved power-state constraints (in slots):
+// minimum CKE-low residency (tCKEmin), power-down exit to first valid
+// command (tXP) and self-refresh exit to first valid command (tXS).
+func (s *Simulator) PowerStateSlots() (tCKE, tXP, tXS int64) {
+	return s.tCKE, s.tXP, s.tXS
+}
+
+// PowerState returns the background state the simulator is currently in.
+func (s *Simulator) PowerState() State { return s.state }

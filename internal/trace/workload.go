@@ -106,6 +106,63 @@ func RefreshOnly(m *core.Model, intervals int) []Command {
 	return cmds
 }
 
+// WithPowerDown inserts power-down entry/exit pairs into the idle gaps of
+// a sorted single-channel trace: whenever the gap before the next command
+// is at least minIdle slots and leaves room for a legal pde ... pdx window
+// (tCKEmin residency plus the tXP exit-to-valid delay before the next
+// command), the device is put into precharge power-down for the gap. A
+// candidate entry that is illegal at that slot (bank open, refresh or
+// burst still in flight) is skipped, so the returned trace is always
+// timing-legal; legality is enforced by actually issuing every command —
+// original and inserted — on a scratch simulator. minIdle < 1 defaults to
+// the smallest insertable window.
+func WithPowerDown(m *core.Model, cmds []Command, minIdle int64) []Command {
+	s := New(m)
+	tCKE, tXP, _ := s.PowerStateSlots()
+	tRFC := s.RefreshCycleSlots()
+	_, _, _, _, _, _, burst := s.TimingSlots()
+	if minIdle < 1 {
+		minIdle = tCKE + tXP + 1
+	}
+	out := make([]Command, 0, len(cmds)+len(cmds)/2)
+	emit := func(c Command) bool {
+		if err := s.Issue(c); err != nil {
+			return false
+		}
+		out = append(out, c)
+		return true
+	}
+	for i, c := range cmds {
+		if i > 0 {
+			prev := cmds[i-1]
+			// Earliest slot the device is quiet after the previous
+			// command: past its refresh cycle or data burst, if any.
+			enter := prev.Slot + 1
+			switch prev.Op {
+			case desc.OpRefresh:
+				enter = prev.Slot + tRFC
+			case desc.OpRead, desc.OpWrite:
+				enter = prev.Slot + burst
+			}
+			exit := c.Slot - tXP // pdx here makes c legal again
+			if c.Slot-prev.Slot >= minIdle && exit-enter >= tCKE {
+				if emit(Command{Slot: enter, Op: OpPowerDownEnter}) {
+					emit(Command{Slot: exit, Op: OpPowerDownExit})
+				}
+			}
+		}
+		if err := s.Issue(c); err != nil {
+			// The input trace itself is illegal here; return what was
+			// legal so far plus the remainder untouched (the caller's
+			// replay will surface the violation exactly as without
+			// insertion).
+			return append(out, cmds[i:]...)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // sortCommands orders a trace by slot (stable for equal slots).
 func sortCommands(cmds []Command) []Command {
 	// Insertion sort: traces are generated nearly sorted.

@@ -5,9 +5,16 @@
 //
 // Every value/unit pair a benchmark line reports becomes a metrics entry,
 // so -benchmem columns (B/op, allocs/op) and custom b.ReportMetric units
-// (cmds/s, MB/s, ...) come through without special cases:
+// (cmds/s, MB/s, ...) come through without special cases. A top-level env
+// block records the runner (go version, GOOS/GOARCH, GOMAXPROCS, CPU
+// count), so a snapshot where the parallel benchmarks match the serial
+// ones is explainable as a one-CPU runner rather than a regression:
 //
 //	{
+//	  "env": {
+//	    "go_version": "go1.22.0", "goos": "linux", "goarch": "amd64",
+//	    "gomaxprocs": 8, "num_cpu": 8
+//	  },
 //	  "benchmarks": [
 //	    {
 //	      "name": "BenchmarkTraceIssue-8",
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -37,6 +45,15 @@ type benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// env describes the machine and runtime the benchmarks ran on.
+type env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
 func main() {
 	echo := flag.Bool("echo", false, "copy input lines to stderr")
 	flag.Parse()
@@ -44,7 +61,15 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 64*1024), 1024*1024)
 	var out struct {
+		Env        env         `json:"env"`
 		Benchmarks []benchmark `json:"benchmarks"`
+	}
+	out.Env = env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for in.Scan() {
 		line := in.Text()
