@@ -35,12 +35,15 @@ bench-all:
 serve-smoke:
 	$(GO) run ./tools/servesmoke
 
-# Short fuzz passes over the two hand-written parsers; go's fuzzer runs
-# one target per invocation, hence two lines. Override FUZZTIME for a
+# Short fuzz passes over the hand-written parsers; go's fuzzer runs one
+# target per invocation, hence one line each. Override FUZZTIME for a
 # longer hunt.
 fuzz-short:
-	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
+	$(GO) test -fuzz FuzzOverlay -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
 	$(GO) test -fuzz FuzzTraceScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
 
 # The full gate: everything CI (and a reviewer) expects to be green.
-check: build vet race serve-smoke fuzz-short
+# CI runs the race detector as its own job (ci.yml "race"), so check
+# keeps the fast non-instrumented test pass.
+check: build vet test serve-smoke fuzz-short

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	drampower [-f device.dram] [-pattern "act nop rd nop pre nop"] [-v]
+//	drampower -f device.dram -calib measured.calib   # with a calibration overlay
 //	drampower -params      # list all Table I technology parameters
 //	drampower -emit        # print the sample description in the input language
 package main
@@ -24,11 +25,12 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "description file (.dram); default: built-in 1Gb DDR3 sample")
+	src := cli.NewSource("drampower", "f", false)
 	pattern := flag.String("pattern", "", "override the command pattern, e.g. \"act nop rd nop pre nop\"")
 	verbose := flag.Bool("v", false, "print the full charge-item breakdown per operation")
 	emit := flag.Bool("emit", false, "print the description in the input language and exit")
 	params := flag.Bool("params", false, "list the technology parameter names (Table I) and exit")
+	calib := cli.OverlayVar()
 	flag.Parse()
 
 	if *params {
@@ -38,10 +40,7 @@ func main() {
 		return
 	}
 
-	d, err := load(*file)
-	if err != nil {
-		cli.FatalInput("drampower", *file, err)
-	}
+	d := src.Description()
 	if *emit {
 		fmt.Print(desc.Format(d))
 		return
@@ -54,18 +53,11 @@ func main() {
 		d.Pattern = desc.Pattern{Loop: loop}
 	}
 
-	m, err := core.Build(d)
+	m, err := core.BuildCalibrated(d, cli.LoadOverlay("drampower", *calib))
 	if err != nil {
 		cli.Fatal("drampower", err)
 	}
 	report(m, *verbose)
-}
-
-func load(path string) (*desc.Description, error) {
-	if path == "" {
-		return desc.Sample1GbDDR3(), nil
-	}
-	return desc.ParseFile(path)
 }
 
 func parsePattern(s string) ([]desc.Op, error) {
@@ -90,21 +82,32 @@ func report(m *core.Model, verbose bool) {
 		m.Grid.Width.Micrometers()/1000, m.Grid.Height.Micrometers()/1000,
 		float64(m.DieArea())/1e-6, d.Spec.Banks(), m.Array.PageBits,
 		m.Array.SubarraysAlongBL*m.Array.SubarraysAlongWL)
-	fmt.Printf("  interface x%d @ %s, Vdd %s / Vint %s / Vbl %s / Vpp %s\n\n",
+	fmt.Printf("  interface x%d @ %s, Vdd %s / Vint %s / Vbl %s / Vpp %s\n",
 		d.Spec.IOWidth, d.Spec.DataRate, d.Electrical.Vdd, d.Electrical.Vint,
 		d.Electrical.Vbl, d.Electrical.Vpp)
+	if m.Calibrated() {
+		name := m.CalibrationName()
+		if name == "" {
+			name = "unnamed"
+		}
+		fmt.Printf("  calibration %q applied; energies and currents below are the resolved values\n", name)
+	}
+	fmt.Println()
 
+	// The headline numbers come from the resolved parameter set (derived
+	// circuit values with any calibration overlay applied); the verbose
+	// charge-item breakdown stays purely derived.
 	fmt.Println("Per-operation energy (referred to Vdd):")
 	for _, op := range []desc.Op{desc.OpActivate, desc.OpPrecharge, desc.OpRead,
 		desc.OpWrite, desc.OpRefresh} {
-		oc := m.Charges(op)
-		fmt.Printf("  %-4s %10s", op, oc.EnergyFromVdd(d.Electrical))
+		fmt.Printf("  %-4s %10s", op, m.OpEnergy(op))
 		if op == desc.OpRead || op == desc.OpWrite {
-			perBit := float64(oc.EnergyFromVdd(d.Electrical)) / float64(m.BitsPerBurst())
+			perBit := float64(m.OpEnergy(op)) / float64(m.BitsPerBurst())
 			fmt.Printf("  (%5.2f pJ/bit over %d bits)", perBit/1e-12, m.BitsPerBurst())
 		}
 		fmt.Println()
 		if verbose {
+			oc := m.Charges(op)
 			for _, it := range oc.Items {
 				v, _ := d.Electrical.DomainVoltageAndEff(it.Domain)
 				fmt.Printf("        %-32s %-9s %-5s x%-8.1f %10s\n",
@@ -114,7 +117,7 @@ func report(m *core.Model, verbose bool) {
 	}
 
 	bg := m.Background()
-	fmt.Printf("\nBackground power: %s\n", bg.Power)
+	fmt.Printf("\nBackground power: %s\n", m.BackgroundPower())
 	if verbose {
 		for _, it := range bg.Items {
 			fmt.Printf("        %-32s %-9s %10s\n", it.Name, it.Group, it.Power)

@@ -18,39 +18,18 @@ import (
 	"fmt"
 
 	"drampower/internal/cli"
-	"drampower/internal/desc"
 	"drampower/internal/engine"
-	"drampower/internal/scaling"
 	"drampower/internal/schemes"
 )
 
 func main() {
-	node := flag.Float64("node", 0, "baseline roadmap node (feature size in nm)")
-	file := flag.String("f", "", "baseline description file")
+	src := cli.NewSource("dramschemes", "f", true)
 	notes := flag.Bool("notes", false, "print the feasibility notes")
 	var batch engine.Options
-	flag.IntVar(&batch.Workers, "workers", 0,
-		"worker pool size for the scheme evaluations (0 = one per CPU, 1 = serial)")
+	cli.WorkersVar(&batch.Workers, "the scheme evaluations")
 	flag.Parse()
 
-	var d *desc.Description
-	switch {
-	case *file != "":
-		var err error
-		d, err = desc.ParseFile(*file)
-		if err != nil {
-			cli.FatalInput("dramschemes", *file, err)
-		}
-	case *node != 0:
-		n, err := scaling.NodeFor(*node)
-		if err != nil {
-			cli.Fatal("dramschemes", err)
-		}
-		d = n.Description()
-	default:
-		d = desc.Sample1GbDDR3()
-	}
-
+	d := src.Description()
 	res, err := schemes.EvaluateOpts(d, batch)
 	if err != nil {
 		cli.Fatal("dramschemes", err)

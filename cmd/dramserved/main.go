@@ -41,8 +41,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain limit")
 	maxBody := flag.Int64("max-body", 1<<20, "descriptor request body limit (bytes)")
 	maxTrace := flag.Int64("max-trace", 256<<20, "trace upload limit (bytes)")
-	workers := flag.Int("workers", 0, "shared evaluation worker pool size (0 = one per CPU)")
+	var workers int
+	cli.WorkersVar(&workers, "the shared evaluation pool")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	calib := cli.OverlayVar()
 	flag.Parse()
 
 	opts := server.Options{
@@ -52,7 +54,10 @@ func main() {
 		RequestTimeout:     *timeout,
 		MaxDescriptorBytes: *maxBody,
 		MaxTraceBytes:      *maxTrace,
-		Workers:            *workers,
+		Workers:            workers,
+		// A -calib overlay becomes the server-wide default calibration,
+		// applied to any model a request does not calibrate itself.
+		Calibration: cli.LoadOverlay("dramserved", *calib),
 	}
 	if !*quiet {
 		opts.AccessLog = os.Stderr

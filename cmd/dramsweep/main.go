@@ -9,6 +9,7 @@
 //	dramsweep -top10          # Table III
 //	dramsweep -node 55        # a single node
 //	dramsweep -f device.dram  # sweep a description file
+//	dramsweep -f device.dram -calib measured.calib  # ... with a calibration overlay
 package main
 
 import (
@@ -28,27 +29,26 @@ var paperNodes = []float64{170, 55, 18}
 // batch carries the -workers flag to every sweep.
 var batch engine.Options
 
+// overlay carries the -calib flag to every sweep: scaling entries ride on
+// top of each variant, absolute overrides pin their parameter (see
+// sensitivity.SweepCalibratedOpts).
+var overlay *desc.Overlay
+
 func main() {
+	src := cli.NewSource("dramsweep", "f", true)
 	top10 := flag.Bool("top10", false, "print Table III (top-10 ranking per device)")
-	node := flag.Float64("node", 0, "sweep a single roadmap node (feature size in nm)")
-	file := flag.String("f", "", "sweep a description file instead of roadmap devices")
-	flag.IntVar(&batch.Workers, "workers", 0,
-		"worker pool size for the sweep (0 = one per CPU, 1 = serial)")
+	calib := cli.OverlayVar()
+	cli.WorkersVar(&batch.Workers, "the sweep")
 	flag.Parse()
+	overlay = cli.LoadOverlay("dramsweep", *calib)
 
 	switch {
-	case *file != "":
-		d, err := desc.ParseFile(*file)
-		if err != nil {
-			cli.FatalInput("dramsweep", *file, err)
-		}
-		sweepOne(d.Name, d, false)
-	case *node != 0:
-		n, err := scaling.NodeFor(*node)
-		if err != nil {
-			cli.Fatal("dramsweep", err)
-		}
-		sweepOne(n.Name(), n.Description(), *top10)
+	case src.File() != "":
+		d := src.Description()
+		sweepOne(src.Label(), d, false)
+	case src.Node() != 0:
+		d := src.Description()
+		sweepOne(src.Label(), d, *top10)
 	case *top10:
 		tableIII()
 	default:
@@ -63,10 +63,14 @@ func main() {
 }
 
 func sweepOne(name string, d *desc.Description, top10 bool) {
-	res, err := sensitivity.SweepOpts(d, batch)
+	if !overlay.Empty() {
+		name += " (calibrated)"
+	}
+	all, err := sensitivity.SweepCalibratedOpts(d, overlay, batch)
 	if err != nil {
 		cli.Fatal("dramsweep", err)
 	}
+	res := sensitivity.ChartRows(all)
 	if top10 {
 		res = sensitivity.Top(res, 10)
 	}
@@ -92,10 +96,11 @@ func tableIII() {
 		if err != nil {
 			cli.Fatal("dramsweep", err)
 		}
-		res, err := sensitivity.SweepOpts(n.Description(), batch)
+		all, err := sensitivity.SweepCalibratedOpts(n.Description(), overlay, batch)
 		if err != nil {
 			cli.Fatal("dramsweep", err)
 		}
+		res := sensitivity.ChartRows(all)
 		c := column{name: n.Name()}
 		for _, r := range sensitivity.Top(res, 10) {
 			c.rows = append(c.rows, r.Name)

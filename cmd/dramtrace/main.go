@@ -11,6 +11,7 @@
 //	dramtrace -channels 8 -workers 8 t.txt   # 8-channel parallel replay
 //	dramtrace -format json t.txt             # machine-readable result
 //	dramtrace -desc device.dram t.txt        # replay against a description
+//	dramtrace -calib measured.calib t.txt    # replay a calibrated model
 //	dramtrace -gen closed -n 100000          # emit a generated trace
 //	dramtrace -gen streaming -channels 4 -n 1000000 | dramtrace -channels 4
 //	dramtrace -gen refresh -idle 1 -n 1000   # power-down in every idle gap
@@ -39,30 +40,23 @@ import (
 )
 
 func main() {
-	descFile := flag.String("desc", "", "description file (default: built-in 1 Gb DDR3-1600 x16 sample)")
+	src := cli.NewSource("dramtrace", "desc", false)
 	channels := flag.Int("channels", 1, "number of channels the trace's global bank indices span")
-	workers := flag.Int("workers", 0, "worker pool size for the replay (0 = one per CPU, 1 = serial)")
-	format := flag.String("format", "text", "output format: text or json")
+	var workers int
+	cli.WorkersVar(&workers, "the replay")
+	format := cli.FormatVar()
 	gen := flag.String("gen", "", "generate a trace to stdout instead of replaying: streaming, closed or refresh")
 	n := flag.Int("n", 100000, "approximate command count for -gen")
 	readShare := flag.Float64("readshare", 0.7, "read share of generated column commands")
 	seed := flag.Int64("seed", 1, "base RNG seed for -gen")
 	idle := flag.Int64("idle", 0, "with -gen: enter power-down in idle gaps of at least this many slots (0 = never)")
+	calib := cli.OverlayVar()
 	flag.Parse()
 
-	if *format != "text" && *format != "json" {
-		cli.Fatalf("dramtrace", "bad -format %q (want text or json)", *format)
-	}
+	cli.MustFormat("dramtrace", *format)
 
-	d := drampower.Sample1GbDDR3()
-	if *descFile != "" {
-		var err error
-		d, err = drampower.ParseFile(*descFile)
-		if err != nil {
-			cli.FatalInput("dramtrace", *descFile, err)
-		}
-	}
-	m, err := drampower.Build(d)
+	d := src.Description()
+	m, err := drampower.BuildCalibrated(d, cli.LoadOverlay("dramtrace", *calib))
 	if err != nil {
 		cli.Fatal("dramtrace", err)
 	}
@@ -87,11 +81,11 @@ func main() {
 
 	cr := &countingReader{r: in}
 	start := time.Now()
-	res, err := drampower.ReplayTrace(m, cr, drampower.ReplayOptions{Channels: *channels, Workers: *workers})
+	res, err := drampower.ReplayTrace(m, cr, drampower.ReplayOptions{Channels: *channels, Workers: workers})
 	if err != nil {
 		cli.FatalInput("dramtrace", name, err)
 	}
-	report(res, cr.n, *channels, *workers, time.Since(start), *format)
+	report(res, cr.n, *channels, workers, time.Since(start), *format)
 }
 
 // generate writes a synthetic trace to stdout: per-channel workloads from

@@ -31,8 +31,7 @@ func main() {
 	fig12 := flag.Bool("fig12", false, "Figure 12: data rate and row timing trends")
 	fig13 := flag.Bool("fig13", false, "Figure 13: energy per bit and die area trends")
 	tab2 := flag.Bool("tableII", false, "Table II: disruptive technology changes")
-	flag.IntVar(&batch.Workers, "workers", 0,
-		"worker pool size for the node builds (0 = one per CPU, 1 = serial)")
+	cli.WorkersVar(&batch.Workers, "the node builds")
 	flag.Parse()
 
 	all := !(*fig5 || *fig6 || *fig7 || *fig11 || *fig12 || *fig13 || *tab2)

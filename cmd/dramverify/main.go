@@ -29,8 +29,7 @@ func main() {
 	ddr2 := flag.Bool("ddr2", false, "show only the DDR2 comparison (Figure 8)")
 	ddr3 := flag.Bool("ddr3", false, "show only the DDR3 comparison (Figure 9)")
 	vendors := flag.Bool("vendors", false, "print per-vendor datasheet columns")
-	flag.IntVar(&batch.Workers, "workers", 0,
-		"worker pool size for the model builds (0 = one per CPU, 1 = serial)")
+	cli.WorkersVar(&batch.Workers, "the model builds")
 	flag.Parse()
 
 	both := !*ddr2 && !*ddr3

@@ -133,6 +133,46 @@ func Sample1GbDDR3() *Description { return desc.Sample1GbDDR3() }
 // Build validates a description and resolves it into a model.
 func Build(d *Description) (*Model, error) { return core.Build(d) }
 
+// Calibration overlay types: an Overlay is an ordered list of overrides
+// and scalings applied to the derived parameter set (the middle stage of
+// the derive → overlay → seal pipeline). See BuildCalibrated.
+type (
+	Overlay      = desc.Overlay
+	OverlayEntry = desc.OverlayEntry
+	ParamSet     = core.ParamSet
+)
+
+// BuildCalibrated resolves a description and applies a calibration
+// overlay to the derived parameter set: measured values (datasheet
+// currents, measured per-op energies) override or scale the analytically
+// derived ones, while the charge-level circuit model stays untouched. A
+// nil or empty overlay makes BuildCalibrated identical to Build, bit for
+// bit.
+func BuildCalibrated(d *Description, ov *Overlay) (*Model, error) {
+	return core.BuildCalibrated(d, ov)
+}
+
+// ParseOverlay reads a calibration overlay document ("idd0 = 58mA",
+// "op.rd.energy *= 1.07" lines, optional "Calibration <name>" header).
+func ParseOverlay(r io.Reader) (*Overlay, error) { return desc.ParseOverlay(r) }
+
+// ParseOverlayFile reads and parses a calibration overlay file.
+func ParseOverlayFile(path string) (*Overlay, error) { return desc.ParseOverlayFile(path) }
+
+// ParseOverlayString parses a calibration overlay from a string.
+func ParseOverlayString(src string) (*Overlay, error) { return desc.ParseOverlayString(src) }
+
+// FormatOverlay renders an overlay in its canonical form (a bit-exact
+// fixed point, like Format for descriptions).
+func FormatOverlay(ov *Overlay) string { return desc.FormatOverlay(ov) }
+
+// OverlayKeys lists every valid calibration key in sorted order.
+func OverlayKeys() []string { return desc.OverlayKeys() }
+
+// ParseDocument reads a combined document: a description optionally
+// followed by a Calibration section. Either half may be absent (nil).
+func ParseDocument(r io.Reader) (*Description, *Overlay, error) { return desc.ParseDocument(r) }
+
 // Re-exported generation roadmap types (Section III.C / IV.C).
 type (
 	// Node is one technology generation (feature size, interface,
@@ -365,3 +405,9 @@ func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 // returns it as model_key, and POST /v1/trace?model=<key> replays traces
 // against the cached model.
 func ModelKey(d *Description) string { return server.DescriptorKey(d) }
+
+// ModelKeyCalibrated derives the server's model-cache key for a
+// description plus a calibration overlay. An empty overlay collapses
+// onto ModelKey; a non-empty one yields a distinct key, so calibrated and
+// uncalibrated models never share a cache entry.
+func ModelKeyCalibrated(d *Description, ov *Overlay) string { return server.CalibratedKey(d, ov) }

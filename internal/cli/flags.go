@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"drampower/internal/desc"
+	"drampower/internal/scaling"
+)
+
+// This file centralizes the flags every cmd/* binary used to register by
+// hand: the -workers pool size, the -format selector, the description
+// source (-f/-desc plus optionally -node) and the -calib calibration
+// overlay. Registering through these helpers keeps the flag names, help
+// strings and failure diagnostics identical across the tools.
+
+// WorkersVar registers the -workers flag into dst with the shared help
+// text; what names the work the pool runs ("the sweep", "the replay").
+func WorkersVar(dst *int, what string) {
+	flag.IntVar(dst, "workers", 0,
+		fmt.Sprintf("worker pool size for %s (0 = one per CPU, 1 = serial)", what))
+}
+
+// FormatVar registers the -format flag (text or json). Validate the
+// parsed value with MustFormat before first use.
+func FormatVar() *string {
+	return flag.String("format", "text", "output format: text or json")
+}
+
+// MustFormat exits with a diagnostic unless format is a known -format
+// value.
+func MustFormat(tool, format string) {
+	if format != "text" && format != "json" {
+		Fatalf(tool, "bad -format %q (want text or json)", format)
+	}
+}
+
+// OverlayVar registers the -calib flag: a calibration overlay file whose
+// entries are applied on top of the derived model (see the README
+// "Calibration" section). Resolve the parsed path with LoadOverlay.
+func OverlayVar() *string {
+	return flag.String("calib", "",
+		"calibration overlay file applied on top of the derived model")
+}
+
+// LoadOverlay parses the overlay file named by a -calib flag. An empty
+// path (the flag's default) returns nil — no calibration. Parse errors
+// exit with a positioned diagnostic like every other bad input.
+func LoadOverlay(tool, path string) *desc.Overlay {
+	if path == "" {
+		return nil
+	}
+	ov, err := desc.ParseOverlayFile(path)
+	if err != nil {
+		FatalInput(tool, path, err)
+		return nil
+	}
+	return ov
+}
+
+// Source is the shared description selection of the cmd/* binaries: a
+// description file flag (-f, or -desc for dramtrace), optionally a
+// roadmap -node flag, falling back to the built-in 1 Gb DDR3 sample.
+type Source struct {
+	tool  string
+	file  *string
+	node  *float64
+	label string
+}
+
+// NewSource registers the description-selection flags. fileFlag is the
+// file flag's name; withNode additionally registers -node.
+func NewSource(tool, fileFlag string, withNode bool) *Source {
+	s := &Source{tool: tool}
+	s.file = flag.String(fileFlag, "",
+		"description file (.dram); default: built-in 1 Gb DDR3 sample")
+	if withNode {
+		s.node = flag.Float64("node", 0,
+			"roadmap node to use instead of the sample (feature size in nm)")
+	}
+	return s
+}
+
+// File reports the parsed file flag ("" when absent).
+func (s *Source) File() string { return *s.file }
+
+// Node reports the parsed -node flag (0 when absent or unregistered).
+func (s *Source) Node() float64 {
+	if s.node == nil {
+		return 0
+	}
+	return *s.node
+}
+
+// Explicit reports whether the user selected a description (file or
+// node) rather than falling through to the sample.
+func (s *Source) Explicit() bool { return s.File() != "" || s.Node() != 0 }
+
+// Description resolves the selected description, exiting with a
+// diagnostic on bad input: the file when given, else the roadmap node,
+// else the built-in sample. It also records the Label.
+func (s *Source) Description() *desc.Description {
+	switch {
+	case s.File() != "":
+		d, err := desc.ParseFile(s.File())
+		if err != nil {
+			FatalInput(s.tool, s.File(), err)
+			return nil
+		}
+		s.label = d.Name
+		return d
+	case s.Node() != 0:
+		n, err := scaling.NodeFor(s.Node())
+		if err != nil {
+			Fatal(s.tool, err)
+			return nil
+		}
+		s.label = n.Name()
+		return n.Description()
+	default:
+		d := desc.Sample1GbDDR3()
+		s.label = d.Name
+		return d
+	}
+}
+
+// Label is a display name for the last Description() result: the node's
+// roadmap name when -node selected it, else the description's own name.
+func (s *Source) Label() string { return s.label }

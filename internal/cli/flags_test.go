@@ -1,0 +1,135 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drampower/internal/desc"
+)
+
+// withFlagSet swaps the global flag set for one test so the helpers
+// (which register on flag.CommandLine like the binaries do) can be
+// exercised repeatedly.
+func withFlagSet(t *testing.T, fn func()) {
+	t.Helper()
+	old := flag.CommandLine
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	defer func() { flag.CommandLine = old }()
+	fn()
+}
+
+func TestWorkersVar(t *testing.T) {
+	withFlagSet(t, func() {
+		var w int
+		WorkersVar(&w, "the tests")
+		if err := flag.CommandLine.Parse([]string{"-workers", "7"}); err != nil {
+			t.Fatal(err)
+		}
+		if w != 7 {
+			t.Fatalf("workers = %d, want 7", w)
+		}
+	})
+}
+
+func TestMustFormat(t *testing.T) {
+	for _, ok := range []string{"text", "json"} {
+		if out, code := capture(func() { MustFormat("tool", ok) }); code != -1 {
+			t.Fatalf("MustFormat(%q) exited %d: %s", ok, code, out)
+		}
+	}
+	out, code := capture(func() { MustFormat("tool", "xml") })
+	if code != 1 || !strings.Contains(out, "bad -format") {
+		t.Fatalf("MustFormat(xml): code=%d stderr=%q", code, out)
+	}
+}
+
+func TestSourceDefaultsToSample(t *testing.T) {
+	withFlagSet(t, func() {
+		s := NewSource("tool", "f", true)
+		if err := flag.CommandLine.Parse(nil); err != nil {
+			t.Fatal(err)
+		}
+		if s.Explicit() {
+			t.Error("no flags given but Explicit() = true")
+		}
+		d := s.Description()
+		want := desc.Sample1GbDDR3()
+		if d.Name != want.Name || s.Label() != want.Name {
+			t.Errorf("default description %q label %q, want sample %q", d.Name, s.Label(), want.Name)
+		}
+	})
+}
+
+func TestSourceNode(t *testing.T) {
+	withFlagSet(t, func() {
+		s := NewSource("tool", "f", true)
+		if err := flag.CommandLine.Parse([]string{"-node", "55"}); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Explicit() || s.Node() != 55 {
+			t.Fatalf("node flag not picked up: %+v", s)
+		}
+		d := s.Description()
+		if d == nil || s.Label() == "" || !strings.Contains(s.Label(), "55nm") {
+			t.Errorf("node description label = %q", s.Label())
+		}
+	})
+
+	// An off-roadmap node exits with a diagnostic.
+	withFlagSet(t, func() {
+		s := NewSource("tool", "f", true)
+		if err := flag.CommandLine.Parse([]string{"-node", "3"}); err != nil {
+			t.Fatal(err)
+		}
+		out, code := capture(func() { s.Description() })
+		if code != 1 || out == "" {
+			t.Errorf("bad node: code=%d stderr=%q", code, out)
+		}
+	})
+}
+
+func TestSourceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.dram")
+	if err := os.WriteFile(path, []byte(desc.Format(desc.Sample1GbDDR3())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withFlagSet(t, func() {
+		s := NewSource("tool", "desc", false)
+		if err := flag.CommandLine.Parse([]string{"-desc", path}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Node() != 0 {
+			t.Error("Node() != 0 without a -node flag registered")
+		}
+		d := s.Description()
+		if d.Name != desc.Sample1GbDDR3().Name || s.Label() != d.Name {
+			t.Errorf("file description %q label %q", d.Name, s.Label())
+		}
+	})
+}
+
+func TestLoadOverlay(t *testing.T) {
+	if ov := LoadOverlay("tool", ""); ov != nil {
+		t.Errorf("empty path: overlay = %+v, want nil", ov)
+	}
+	path := filepath.Join(t.TempDir(), "m.calib")
+	if err := os.WriteFile(path, []byte("Calibration measured\nidd0 = 58mA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ov := LoadOverlay("tool", path)
+	if ov == nil || ov.Name != "measured" || len(ov.Entries) != 1 {
+		t.Fatalf("overlay = %+v", ov)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.calib")
+	if err := os.WriteFile(bad, []byte("bogus = 1mA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := capture(func() { LoadOverlay("tool", bad) })
+	if code != 1 || !strings.Contains(out, "tool:") {
+		t.Errorf("bad overlay: code=%d stderr=%q", code, out)
+	}
+}

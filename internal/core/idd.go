@@ -163,19 +163,22 @@ func (m *Model) PatternIDD7(writeShare float64) desc.Pattern {
 	return desc.Pattern{Loop: loop}
 }
 
-// IDD evaluates all datasheet currents.
+// IDD reports all datasheet currents from the resolved parameter set:
+// the loop currents were evaluated from their measurement patterns at
+// derive time (and possibly overridden by a calibration overlay), the
+// standby currents are the resolved background power referred through
+// Vdd.
 func (m *Model) IDD() IDD {
-	bg := m.Background()
 	var idd IDD
 	if v := m.D.Electrical.Vdd; v > 0 {
-		idd.IDD2N = units.Current(float64(bg.Power) / float64(v))
+		idd.IDD2N = units.Current(float64(m.params.StandbyPower) / float64(v))
 	}
 	idd.IDD3N = idd.IDD2N
-	idd.IDD0 = m.EvaluatePattern(m.PatternIDD0()).Current
-	idd.IDD4R = m.EvaluatePattern(m.PatternIDD4(false)).Current
-	idd.IDD4W = m.EvaluatePattern(m.PatternIDD4(true)).Current
-	idd.IDD5 = m.EvaluatePattern(m.PatternIDD5()).Current
-	idd.IDD7 = m.EvaluatePattern(m.PatternIDD7(0)).Current
+	idd.IDD0 = m.params.IDD0
+	idd.IDD4R = m.params.IDD4R
+	idd.IDD4W = m.params.IDD4W
+	idd.IDD5 = m.params.IDD5
+	idd.IDD7 = m.params.IDD7
 	return idd
 }
 
@@ -208,22 +211,9 @@ const (
 	pdWireFactor     = 0.15 // input clock stage only
 )
 
-// PowerDownPower returns the power of the precharge power-down state.
-func (m *Model) PowerDownPower() units.Power {
-	bg := m.Background()
-	var p float64
-	for _, it := range bg.Items {
-		switch {
-		case it.Name == "constant current":
-			p += float64(it.Power) * pdConstantFactor
-		case len(it.Name) > 5 && it.Name[:5] == "logic":
-			p += float64(it.Power) * pdLogicFactor
-		default: // clock / control wires
-			p += float64(it.Power) * pdWireFactor
-		}
-	}
-	return units.Power(p)
-}
+// PowerDownPower returns the resolved power of the precharge power-down
+// state (derived by derivePowerDownPower, possibly calibrated).
+func (m *Model) PowerDownPower() units.Power { return m.params.PowerDownPower }
 
 // IDD2P returns the precharge power-down current.
 func (m *Model) IDD2P() units.Current {
@@ -237,11 +227,11 @@ func (m *Model) IDD2P() units.Current {
 // of standby power a power-down entry removes (Section V's system-level
 // power management schemes schedule exactly this).
 func (m *Model) PowerDownSavings() float64 {
-	bg := float64(m.Background().Power)
+	bg := float64(m.params.StandbyPower)
 	if bg <= 0 {
 		return 0
 	}
-	return 1 - float64(m.PowerDownPower())/bg
+	return 1 - float64(m.params.PowerDownPower)/bg
 }
 
 // SelfRefreshFactors describe the residue of the background power in the
@@ -257,29 +247,12 @@ const (
 	srWireFactor     = 0.02 // external clock stopped; leakage-level residue
 )
 
-// SelfRefreshPower returns the power of the self-refresh state: the
-// scaled-down background residue plus the internally generated refresh
-// stream (OpEnergy(ref) amortized over the refresh interval). This is the
-// IDD6 analogue of PowerDownPower/IDD2P and sits below both — the
+// SelfRefreshPower returns the resolved power of the self-refresh state:
+// the scaled-down background residue plus the internally generated
+// refresh stream (see deriveSelfRefreshPower), possibly calibrated. This
+// is the IDD6 analogue of PowerDownPower/IDD2P and sits below both — the
 // datasheet ordering IDD6 < IDD2P < IDD2N is pinned by tests.
-func (m *Model) SelfRefreshPower() units.Power {
-	bg := m.Background()
-	var p float64
-	for _, it := range bg.Items {
-		switch {
-		case it.Name == "constant current":
-			p += float64(it.Power) * srConstantFactor
-		case len(it.Name) > 5 && it.Name[:5] == "logic":
-			p += float64(it.Power) * srLogicFactor
-		default: // clock / control wires
-			p += float64(it.Power) * srWireFactor
-		}
-	}
-	if ival := m.D.Spec.RefreshInterval; ival > 0 {
-		p += float64(m.OpEnergy(desc.OpRefresh)) / float64(ival)
-	}
-	return units.Power(p)
-}
+func (m *Model) SelfRefreshPower() units.Power { return m.params.SelfRefreshPower }
 
 // IDD6 returns the self-refresh current, the datasheet ballpark the
 // trace simulator's self-refresh residency accounting draws.

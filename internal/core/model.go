@@ -50,6 +50,17 @@ type Model struct {
 	opEnergy [desc.NumOps]units.Energy
 	// background caches the continuous-power ledger (see Background).
 	background *Background
+
+	// derived is the parameter set as produced by the circuit derivation
+	// (the derive stage); params is the resolved set after the optional
+	// calibration overlay (the seal stage). Uncalibrated models have the
+	// two bit-identical. See ParamSet.
+	derived ParamSet
+	params  ParamSet
+	// calibrated records that a non-empty overlay was applied;
+	// calibration carries the overlay's name.
+	calibrated  bool
+	calibration string
 }
 
 // ResolvedSegment is a signaling floorplan segment with its routed length,
@@ -73,8 +84,17 @@ func (r ResolvedSegment) TotalCapPerWire() units.Capacitance {
 }
 
 // Build resolves a description into a model. The description is validated
-// first; Build fails on any validation problem.
+// first; Build fails on any validation problem. Build is BuildCalibrated
+// with no overlay.
 func Build(d *desc.Description) (*Model, error) {
+	return BuildCalibrated(d, nil)
+}
+
+// BuildCalibrated resolves a description into a model and applies a
+// calibration overlay to the resolved parameter set — the full
+// derive → overlay → seal pipeline. A nil or empty overlay is a strict
+// no-op: the model is bit-identical to Build's.
+func BuildCalibrated(d *desc.Description, ov *desc.Overlay) (*Model, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,6 +115,10 @@ func Build(d *desc.Description) (*Model, error) {
 		return nil, err
 	}
 	m.buildLedger()
+	m.derive()
+	if err := m.applyOverlay(ov); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -113,21 +137,23 @@ func (m *Model) buildLedger() {
 	m.background = &bg
 }
 
-// OpEnergy returns the cached Vdd-referred energy one occurrence of op
-// draws, at the electrical state the model was built with. This is the
-// O(1) lookup the trace simulator integrates per command.
+// OpEnergy returns the resolved Vdd-referred energy one occurrence of op
+// draws, at the electrical state the model was built with — including
+// any calibration override. This is the O(1) lookup the trace simulator
+// integrates per command.
 func (m *Model) OpEnergy(op desc.Op) units.Energy {
 	if op.Valid() {
-		return m.opEnergy[op]
+		return m.params.OpEnergy[op]
 	}
 	return m.computeCharges(op).EnergyFromVdd(m.D.Electrical)
 }
 
-// OpEnergies returns the whole per-op energy ledger as an array indexed
-// by desc.Op (a copy; the caller may keep it). The trace simulator
-// captures it once at construction so per-command energy integration is
-// a flat array read with no Model indirection on the hot path.
-func (m *Model) OpEnergies() [desc.NumOps]units.Energy { return m.opEnergy }
+// OpEnergies returns the whole resolved per-op energy ledger as an array
+// indexed by desc.Op (a copy; the caller may keep it). The trace
+// simulator captures it once at construction so per-command energy
+// integration is a flat array read with no Model indirection on the hot
+// path.
+func (m *Model) OpEnergies() [desc.NumOps]units.Energy { return m.params.OpEnergy }
 
 // resolveSegments computes lengths, capacitances, wire counts and toggle
 // rates for every signaling segment. Data buses widen by the accumulated

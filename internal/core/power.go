@@ -283,12 +283,12 @@ func (m *Model) RecomputeBackground() Background {
 }
 
 // OpPower returns the power one operation contributes when issued every
-// control-clock cycle: E_op × f_ctrl. The pattern evaluation scales this
-// by the operation's slot share, which is exactly the paper's "12.5% of
-// the power associated with each of these commands" accounting.
+// control-clock cycle: E_op × f_ctrl, with E_op the resolved (possibly
+// calibrated) per-op energy. The pattern evaluation scales this by the
+// operation's slot share, which is exactly the paper's "12.5% of the
+// power associated with each of these commands" accounting.
 func (m *Model) OpPower(op desc.Op) units.Power {
-	e := m.Charges(op).EnergyFromVdd(m.D.Electrical)
-	return e.PowerAt(m.D.Spec.ControlClock)
+	return m.OpEnergy(op).PowerAt(m.D.Spec.ControlClock)
 }
 
 // PatternResult is the evaluation of a command pattern.
@@ -329,14 +329,25 @@ func (m *Model) EvaluatePattern(p desc.Pattern) *PatternResult {
 		ByDomain: map[desc.Domain]units.Power{},
 	}
 
+	// The totals come from the resolved parameter set (possibly
+	// calibrated); the by-group/by-domain breakdowns come from the derived
+	// charge ledgers, scaled by the calibration ratio so they track the
+	// resolved totals. Uncalibrated models have a ratio of exactly 1.0,
+	// and multiplying a float64 by 1.0 is exact in IEEE-754, so the
+	// uncalibrated path stays bit-identical to the pre-pipeline code.
 	bg := m.Background()
-	res.Background = bg.Power
+	res.Background = m.params.StandbyPower
+	bgScale := 1.0
+	if m.params.StandbyPower != m.derived.StandbyPower && m.derived.StandbyPower != 0 {
+		bgScale = float64(m.params.StandbyPower) / float64(m.derived.StandbyPower)
+	}
 	for _, it := range bg.Items {
-		res.ByGroup[it.Group] += it.Power
+		p := units.Power(float64(it.Power) * bgScale)
+		res.ByGroup[it.Group] += p
 		if it.Group == circuits.GroupStatic {
-			res.ByDomain[desc.DomainVdd] += it.Power
+			res.ByDomain[desc.DomainVdd] += p
 		} else {
-			res.ByDomain[desc.DomainVint] += it.Power
+			res.ByDomain[desc.DomainVint] += p
 		}
 	}
 
@@ -350,14 +361,19 @@ func (m *Model) EvaluatePattern(p desc.Pattern) *PatternResult {
 			continue
 		}
 		oc := m.Charges(op)
-		opPower := units.Power(share) * units.Power(float64(oc.EnergyFromVdd(el))*float64(fctl))
+		opE := m.params.OpEnergy[op]
+		opScale := 1.0
+		if opE != m.derived.OpEnergy[op] && m.derived.OpEnergy[op] != 0 {
+			opScale = float64(opE) / float64(m.derived.OpEnergy[op])
+		}
+		opPower := units.Power(share) * units.Power(float64(opE)*float64(fctl))
 		res.ByOp[op] += opPower
 		res.Command += opPower
 		for g, e := range oc.EnergyByGroup(el) {
-			res.ByGroup[g] += units.Power(share * float64(e) * float64(fctl))
+			res.ByGroup[g] += units.Power(share * float64(e) * opScale * float64(fctl))
 		}
 		for dom, e := range oc.EnergyByDomain(el) {
-			res.ByDomain[dom] += units.Power(share * float64(e) * float64(fctl))
+			res.ByDomain[dom] += units.Power(share * float64(e) * opScale * float64(fctl))
 		}
 	}
 	res.Power = res.Background + res.Command

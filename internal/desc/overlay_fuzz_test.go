@@ -1,0 +1,50 @@
+package desc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzOverlay drives the calibration-overlay parser with mutated inputs,
+// extending the FuzzParse contract to the second document type the
+// package parses: no panics, positioned errors on rejection, and a
+// bit-exact canonical fixed point (FormatOverlay ∘ ParseOverlay is
+// idempotent) for everything accepted — the server derives calibrated
+// model-cache keys from that canonical form.
+func FuzzOverlay(f *testing.F) {
+	f.Add("Calibration measured\nidd0 = 58mA\nop.rd.energy *= 1.07\n")
+	f.Add("idd2n = 35.8mA\nidd6 = 4.2mA\nstandby = 45mW\n")
+	f.Add("op.act.energy = 2.4nJ\nop.wrt.energy*=0.93\nselfrefresh *= 2\n")
+	f.Add("")
+	f.Add("# comment\n\nCalibration\n")
+	f.Add("idd0 *= 1e308\nidd7 = 0.2A\n")
+	f.Add("powerdown = 9e999mW\n")
+	f.Add("idd0 = 1mA idd5 = 2mA\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ov, err := ParseOverlayString(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-positioned parse error %T: %v", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("parse error with line %d: %v", pe.Line, pe)
+			}
+			return
+		}
+		canon := FormatOverlay(ov)
+		ov2, err := ParseOverlayString(canon)
+		if err != nil {
+			t.Fatalf("accepted input failed the canonical round-trip:\ninput: %q\ncanon: %q\nerr: %v",
+				src, canon, err)
+		}
+		if again := FormatOverlay(ov2); again != canon {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %q\nsecond: %q", canon, again)
+		}
+		if !strings.HasSuffix(canon, "\n") {
+			t.Fatalf("FormatOverlay output misses the trailing newline: %q", canon)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package desc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseOverlayForms(t *testing.T) {
+	src := `
+# measured against a pool of five vendor parts
+Calibration vendor pool
+idd0 = 58mA
+op.rd.energy *= 1.07
+op.wrt.energy*=0.93
+standby = 45mW
+op.act.energy = 2.4nJ
+idd6=4.2mA
+`
+	ov, err := ParseOverlayString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Name != "vendor pool" {
+		t.Errorf("name = %q, want %q", ov.Name, "vendor pool")
+	}
+	// Expected SI values are computed the way the parser computes them
+	// (runtime multiply by the prefix), not as exact decimal literals —
+	// 4.2*1e-3 at runtime differs from the literal 0.0042 by one ulp.
+	milli := 1e-3
+	want := []OverlayEntry{
+		{Key: "idd0", Value: 58e-3},
+		{Key: "op.rd.energy", Scale: true, Value: 1.07},
+		{Key: "op.wrt.energy", Scale: true, Value: 0.93},
+		{Key: "standby", Value: 45e-3},
+		{Key: "op.act.energy", Value: 2.4e-9},
+		{Key: "idd6", Value: 4.2 * milli},
+	}
+	if len(ov.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(ov.Entries), len(want), ov.Entries)
+	}
+	for i, w := range want {
+		if ov.Entries[i] != w {
+			t.Errorf("entry %d = %+v, want %+v", i, ov.Entries[i], w)
+		}
+	}
+}
+
+func TestParseOverlayEmpty(t *testing.T) {
+	for _, src := range []string{"", "# only a comment\n", "Calibration\n", "Calibration a b\n"} {
+		ov, err := ParseOverlayString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if !ov.Empty() {
+			t.Errorf("%q: overlay not empty: %+v", src, ov)
+		}
+	}
+	var nilOv *Overlay
+	if !nilOv.Empty() {
+		t.Error("nil overlay should be empty")
+	}
+}
+
+func TestParseOverlayErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bogus = 1mA\n", "unknown calibration key"},
+		{"idd0 = 58mW\n", "does not end"},
+		{"idd0 *= -2\n", "scale factor"},
+		{"idd0 *= NaN\n", "scale factor"},
+		{"idd0 *= 0\n", "scale factor"},
+		{"idd0 = -1mA\n", "non-negative"},
+		{"idd0 = NaNmA\n", "numeric"},
+		{"idd0\n", "calibration entries are"},
+		{"idd0 = 1mA extra\n", "calibration entries are"},
+		{"op.nop.energy = 1nJ\n", "unknown calibration key"},
+		{"idd0 = 1mA\nCalibration late\n", "first directive"},
+		{"Calibration x=y\n", "bare words"},
+	}
+	for _, tc := range cases {
+		_, err := ParseOverlayString(tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error", tc.src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) || pe.Line < 1 {
+			t.Errorf("%q: non-positioned error %T: %v", tc.src, err, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestFormatOverlayRoundTrip(t *testing.T) {
+	src := "Calibration m\nidd0 = 58mA\nop.rd.energy *= 1.07\nstandby = 45mW\nop.act.energy = 2.4nJ\n"
+	ov, err := ParseOverlayString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := FormatOverlay(ov)
+	ov2, err := ParseOverlayString(canon)
+	if err != nil {
+		t.Fatalf("canonical form does not reparse: %q: %v", canon, err)
+	}
+	if again := FormatOverlay(ov2); again != canon {
+		t.Fatalf("canonical form is not a fixed point:\nfirst:  %q\nsecond: %q", canon, again)
+	}
+	if ov2.Name != ov.Name || len(ov2.Entries) != len(ov.Entries) {
+		t.Fatalf("round trip lost content: %+v vs %+v", ov2, ov)
+	}
+	for i := range ov.Entries {
+		if ov.Entries[i] != ov2.Entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, ov.Entries[i], ov2.Entries[i])
+		}
+	}
+}
+
+func TestOverlayKeysComplete(t *testing.T) {
+	keys := OverlayKeys()
+	set := map[string]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	for _, k := range []string{"idd0", "idd2n", "idd2p", "idd3n", "idd4r", "idd4w",
+		"idd5", "idd6", "idd7", "standby", "powerdown", "selfrefresh",
+		"op.act.energy", "op.pre.energy", "op.rd.energy", "op.wrt.energy", "op.ref.energy"} {
+		if !set[k] {
+			t.Errorf("missing overlay key %q", k)
+		}
+	}
+	if set["op.nop.energy"] {
+		t.Error("op.nop.energy must not be a calibration key")
+	}
+}
+
+func TestParseDocumentSplitsCalibration(t *testing.T) {
+	base := Format(Sample1GbDDR3())
+
+	d, ov, err := ParseDocument(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || ov != nil {
+		t.Fatalf("plain descriptor: d=%v ov=%v", d, ov)
+	}
+	if Format(d) != base {
+		t.Error("plain descriptor did not round-trip through ParseDocument")
+	}
+
+	combined := base + "\nCalibration measured\nidd0 = 58mA\n"
+	d, ov, err = ParseDocument(strings.NewReader(combined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || ov == nil {
+		t.Fatalf("combined document: d=%v ov=%v", d, ov)
+	}
+	if Format(d) != base {
+		t.Error("combined document changed the descriptor half")
+	}
+	if ov.Name != "measured" || len(ov.Entries) != 1 || ov.Entries[0].Key != "idd0" {
+		t.Errorf("overlay half = %+v", ov)
+	}
+
+	d, ov, err = ParseDocument(strings.NewReader("Calibration\nidd5 *= 1.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Errorf("calibration-only document returned a descriptor: %v", d)
+	}
+	if ov == nil || len(ov.Entries) != 1 {
+		t.Errorf("calibration-only overlay = %+v", ov)
+	}
+
+	d, ov, err = ParseDocument(strings.NewReader("  \n# nothing\n"))
+	if err != nil || d != nil || ov != nil {
+		t.Errorf("empty document: d=%v ov=%v err=%v", d, ov, err)
+	}
+}

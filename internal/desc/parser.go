@@ -76,6 +76,13 @@ func Parse(r io.Reader) (*Description, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseLines(lines)
+}
+
+// parseLines runs the description parser over pre-lexed lines (shared
+// with ParseDocument, which splits a combined descriptor+calibration
+// document before parsing each half).
+func parseLines(lines []line) (*Description, error) {
 	p := &parser{d: &Description{}}
 	p.d.Floorplan.BlockWidth = make(map[string]units.Length)
 	p.d.Floorplan.BlockHeight = make(map[string]units.Length)

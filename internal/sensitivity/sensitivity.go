@@ -208,6 +208,13 @@ func SweepOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ChartRows(all), nil
+}
+
+// ChartRows filters a full sweep down to the Figure 10 chart rows,
+// dropping parameters marked ExcludedFromChart (in place; the input
+// slice is reused).
+func ChartRows(all []Result) []Result {
 	out := all[:0]
 	excluded := map[string]bool{}
 	for _, p := range Registry() {
@@ -220,7 +227,7 @@ func SweepOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
 			out = append(out, r)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // SweepAll is Sweep including chart-excluded parameters.
@@ -233,7 +240,18 @@ func SweepAll(d *desc.Description) ([]Result, error) {
 // (every evaluation works on its own deep clone), so any worker count
 // produces the same results.
 func SweepAllOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
-	base, err := core.Build(d.Clone())
+	return SweepCalibratedOpts(d, nil, opts)
+}
+
+// SweepCalibratedOpts runs the full sweep with a calibration overlay
+// applied to the base and to every parameter variant. Scaling-style
+// calibration entries compose naturally with the varied circuit
+// parameters (the overlay ratio rides on top of each variant's derived
+// value); absolute overrides pin their parameter and null its
+// sensitivity, which is the physically honest reading of "this value was
+// measured". A nil or empty overlay reproduces SweepAllOpts bit for bit.
+func SweepCalibratedOpts(d *desc.Description, ov *desc.Overlay, opts engine.Options) ([]Result, error) {
+	base, err := core.BuildCalibrated(d.Clone(), ov)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +263,7 @@ func SweepAllOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
 	eval := func(p Parameter, factor float64) (float64, error) {
 		c := d.Clone()
 		p.Apply(c, factor)
-		m, err := core.Build(c)
+		m, err := core.BuildCalibrated(c, ov)
 		if err != nil {
 			return 0, fmt.Errorf("sensitivity: %s x%g: %w", p.Name, factor, err)
 		}

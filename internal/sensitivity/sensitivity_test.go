@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/scaling"
 )
 
@@ -236,5 +237,55 @@ func TestSweepDoesNotMutateInput(t *testing.T) {
 	}
 	if desc.Format(d) != before {
 		t.Error("Sweep mutated the input description")
+	}
+}
+
+func TestSweepCalibratedEmptyOverlayIdentical(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	plain, err := SweepAllOpts(d, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := SweepCalibratedOpts(d, &desc.Overlay{Name: "noop"}, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(calib) {
+		t.Fatalf("result count differs: %d vs %d", len(plain), len(calib))
+	}
+	for i := range plain {
+		if plain[i] != calib[i] {
+			t.Errorf("result %d differs: %+v vs %+v", i, plain[i], calib[i])
+		}
+	}
+}
+
+func TestSweepCalibratedScalesRideAlong(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	ov, err := desc.ParseOverlayString("op.rd.energy *= 1.5\nstandby *= 1.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SweepAllOpts(d, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := SweepCalibratedOpts(d, ov, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure scaling keeps every sensitivity finite and the ranking
+	// non-degenerate: the swept circuit parameters still move power.
+	if len(calib) != len(plain) {
+		t.Fatalf("result count differs")
+	}
+	var nonzero int
+	for _, r := range calib {
+		if r.RangePct > 0.01 {
+			nonzero++
+		}
+	}
+	if nonzero < len(calib)/2 {
+		t.Errorf("calibrated sweep degenerate: only %d/%d parameters move power", nonzero, len(calib))
 	}
 }

@@ -24,6 +24,25 @@ func DescriptorKey(d *desc.Description) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CalibratedKey derives the model-cache key for a description plus a
+// calibration overlay. An empty (or nil) overlay collapses onto
+// DescriptorKey — a no-op calibration and no calibration are the same
+// model, so they share the cache entry — while any non-empty overlay
+// hashes its canonical rendering (desc.FormatOverlay, a normal form like
+// desc.Format) alongside the descriptor's. The NUL-delimited domain tag
+// keeps descriptor bytes from colliding with overlay bytes, so the cache
+// can never conflate a calibrated model with its uncalibrated base.
+func CalibratedKey(d *desc.Description, ov *desc.Overlay) string {
+	if ov.Empty() {
+		return DescriptorKey(d)
+	}
+	h := sha256.New()
+	h.Write([]byte(desc.Format(d)))
+	h.Write([]byte("\x00calibration\x00"))
+	h.Write([]byte(desc.FormatOverlay(ov)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // modelCache is a concurrency-safe LRU of built models keyed by
 // DescriptorKey. Hits skip core.Build entirely (models are immutable
 // after Build and safe for concurrent readers); concurrent misses on the

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/trace"
+)
+
+// -update rewrites the golden response files from the current code:
+//
+//	go test ./internal/server -run TestGolden -update
+//
+// The goldens pin the exact response bytes of every POST endpoint. They
+// serve two purposes: field renames or omissions in the JSON shapes are
+// caught at review time (the golden diff shows exactly what clients
+// would see), and the calibration pipeline's "empty overlay is a strict
+// no-op" guarantee is enforced byte-for-byte — these files were
+// generated before the derive/overlay/seal refactor and must never
+// change for uncalibrated requests.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name> (or rewrites it
+// under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: response differs from golden\ngot:  %s\nwant: %s", name, got, want)
+	}
+}
+
+// goldenTrace renders a deterministic mixed workload against the sample
+// device: a seeded random closed-page burst with power-down entry on
+// idle gaps, so the golden exercises command energy, all four power
+// states, and the residency-weighted background split.
+func goldenTrace(t *testing.T) string {
+	t.Helper()
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := trace.WithPowerDown(m, trace.RandomClosedPage(m, 200, 0.7, 42), 64)
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, cmds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGoldenResponses(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	src := desc.Format(desc.Sample1GbDDR3())
+
+	cases := []struct {
+		golden string
+		path   string
+		body   string
+	}{
+		{"evaluate.golden.json", "/v1/evaluate", src},
+		{"sweep.golden.json", "/v1/sweep", src},
+		{"schemes.golden.json", "/v1/schemes", src},
+		{"trace.golden.json", "/v1/trace", goldenTrace(t)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			resp, body := post(t, hs.URL+tc.path, tc.body)
+			if resp.StatusCode != 200 {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			checkGolden(t, tc.golden, body)
+		})
+	}
+}

@@ -88,25 +88,70 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(body, '\n'))
 }
 
-// readDescriptor reads and parses the request body as descriptor text.
-// An empty body selects the built-in 1 Gb DDR3 sample (handy for smoke
-// tests and examples). The bool result reports success; on failure the
-// response has already been written.
-func (s *Server) readDescriptor(w http.ResponseWriter, r *http.Request) (*desc.Description, bool) {
+// readDocument reads and parses the request body as a combined document:
+// descriptor text optionally followed by a Calibration section (see
+// desc.ParseDocument). A body with no descriptor lines — empty,
+// whitespace, or calibration-only — selects the built-in 1 Gb DDR3
+// sample (handy for smoke tests and examples). The overlay is nil when
+// the body has no Calibration section. The bool result reports success;
+// on failure the response has already been written.
+func (s *Server) readDocument(w http.ResponseWriter, r *http.Request) (*desc.Description, *desc.Overlay, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxDescriptorBytes))
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusBadRequest)
+		return nil, nil, false
+	}
+	d, ov, err := desc.ParseDocument(strings.NewReader(string(body)))
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return nil, nil, false
+	}
+	if d == nil {
+		d = desc.Sample1GbDDR3()
+	}
+	return d, ov, true
+}
+
+// effectiveOverlay resolves the calibration applying to a request, in
+// precedence order: the calibration query parameter (';' accepted as a
+// line separator so an overlay fits in a URL), the request body's
+// Calibration section, then the server-wide default (Options.Calibration).
+// Supplying both the query parameter and a body section is ambiguous and
+// rejected. The bool result reports success; on failure the response has
+// been written.
+func (s *Server) effectiveOverlay(w http.ResponseWriter, r *http.Request, bodyOv *desc.Overlay) (*desc.Overlay, bool) {
+	q := r.URL.Query().Get("calibration")
+	if q == "" {
+		if bodyOv != nil {
+			return bodyOv, true
+		}
+		return s.opts.Calibration, true
+	}
+	if bodyOv != nil {
+		writeError(w, http.StatusBadRequest,
+			"calibration supplied both as a query parameter and a body Calibration section; pick one")
 		return nil, false
 	}
-	if strings.TrimSpace(string(body)) == "" {
-		return desc.Sample1GbDDR3(), true
-	}
-	d, err := desc.ParseString(string(body))
+	ov, err := desc.ParseOverlayString(strings.ReplaceAll(q, ";", "\n"))
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return nil, false
 	}
-	return d, true
+	return ov, true
+}
+
+// getModel returns the (possibly calibrated) model for the description
+// and overlay through the model cache, keyed by CalibratedKey so a
+// calibrated model never shares an entry with its uncalibrated base.
+func (s *Server) getModel(d *desc.Description, ov *desc.Overlay) (string, *core.Model, error) {
+	key := CalibratedKey(d, ov)
+	m, err := s.cache.get(key, func() (*core.Model, error) {
+		if !ov.Empty() {
+			s.calibratedBuilds.Inc()
+		}
+		return core.BuildCalibrated(d, ov)
+	})
+	return key, m, err
 }
 
 // checkCtx reports whether the request is still live, answering 504 when
@@ -124,13 +169,19 @@ func checkCtx(w http.ResponseWriter, r *http.Request) bool {
 // Build+Evaluate results plus the model's cache key, which /v1/trace
 // accepts to replay traces against an already-hot model.
 type EvaluateResponse struct {
-	ModelKey     string          `json:"model_key"`
-	Name         string          `json:"name"`
-	DieAreaMM2   float64         `json:"die_area_mm2"`
-	BitsPerBurst int             `json:"bits_per_burst"`
-	Pattern      string          `json:"pattern"`
-	IDDMA        IDDResponse     `json:"idd_ma"`
-	Result       PatternResponse `json:"result"`
+	ModelKey     string  `json:"model_key"`
+	Name         string  `json:"name"`
+	DieAreaMM2   float64 `json:"die_area_mm2"`
+	BitsPerBurst int     `json:"bits_per_burst"`
+	Pattern      string  `json:"pattern"`
+	// Calibrated marks a model built with a non-empty calibration overlay;
+	// Calibration carries the overlay's name when it has one. Both are
+	// omitted for uncalibrated models, keeping those responses byte-
+	// identical to pre-calibration servers.
+	Calibrated  bool            `json:"calibrated,omitempty"`
+	Calibration string          `json:"calibration,omitempty"`
+	IDDMA       IDDResponse     `json:"idd_ma"`
+	Result      PatternResponse `json:"result"`
 }
 
 // IDDResponse reports the datasheet currents in milliamps.
@@ -172,6 +223,8 @@ func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
 		DieAreaMM2:   float64(m.DieArea()) / 1e-6,
 		BitsPerBurst: m.BitsPerBurst(),
 		Pattern:      m.D.Pattern.String(),
+		Calibrated:   m.Calibrated(),
+		Calibration:  m.CalibrationName(),
 		IDDMA: IDDResponse{
 			IDD0:  idd.IDD0.Milliamps(),
 			IDD2N: idd.IDD2N.Milliamps(),
@@ -210,7 +263,11 @@ func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
 // handleEvaluate: descriptor text in, full evaluation out, through the
 // model cache.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	d, ok := s.readDescriptor(w, r)
+	d, bodyOv, ok := s.readDocument(w, r)
+	if !ok {
+		return
+	}
+	ov, ok := s.effectiveOverlay(w, r, bodyOv)
 	if !ok {
 		return
 	}
@@ -225,8 +282,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !checkCtx(w, r) {
 		return
 	}
-	key := DescriptorKey(d)
-	m, err := s.cache.get(key, func() (*core.Model, error) { return core.Build(d) })
+	key, m, err := s.getModel(d, ov)
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
 		return
@@ -252,8 +308,11 @@ func parsePattern(s string) ([]desc.Op, error) {
 
 // SweepResponse is the POST /v1/sweep body.
 type SweepResponse struct {
-	Name string     `json:"name"`
-	Rows []SweepRow `json:"rows"`
+	Name string `json:"name"`
+	// Calibrated marks a sweep run with a non-empty calibration overlay
+	// applied to the base and every variant (omitted otherwise).
+	Calibrated bool       `json:"calibrated,omitempty"`
+	Rows       []SweepRow `json:"rows"`
 }
 
 // SweepRow is one Figure 10 bar.
@@ -265,18 +324,23 @@ type SweepRow struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	d, ok := s.readDescriptor(w, r)
+	d, bodyOv, ok := s.readDocument(w, r)
+	if !ok {
+		return
+	}
+	ov, ok := s.effectiveOverlay(w, r, bodyOv)
 	if !ok {
 		return
 	}
 	if !checkCtx(w, r) {
 		return
 	}
-	rows, err := sensitivity.SweepOpts(d, engine.Options{Pool: s.pool})
+	all, err := sensitivity.SweepCalibratedOpts(d, ov, engine.Options{Pool: s.pool})
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
 		return
 	}
+	rows := sensitivity.ChartRows(all)
 	if topS := r.URL.Query().Get("top"); topS != "" {
 		top, err := strconv.Atoi(topS)
 		if err != nil || top < 1 {
@@ -285,7 +349,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = sensitivity.Top(rows, top)
 	}
-	out := SweepResponse{Name: d.Name, Rows: make([]SweepRow, len(rows))}
+	out := SweepResponse{Name: d.Name, Calibrated: !ov.Empty(), Rows: make([]SweepRow, len(rows))}
 	for i, row := range rows {
 		out.Rows[i] = SweepRow{row.Name, row.RangePct, row.DeltaUpPct, row.DeltaDownPct}
 	}
@@ -310,8 +374,17 @@ type SchemeRow struct {
 }
 
 func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
-	d, ok := s.readDescriptor(w, r)
+	d, bodyOv, ok := s.readDocument(w, r)
 	if !ok {
+		return
+	}
+	// The scheme comparison rewrites each description (banking, prefetch,
+	// interface variants), so a calibration measured on the baseline would
+	// silently mislabel every variant; reject rather than mislead. The
+	// server-wide default overlay is likewise not applied here.
+	if bodyOv != nil || r.URL.Query().Get("calibration") != "" {
+		writeError(w, http.StatusBadRequest,
+			"calibration is not supported for /v1/schemes: overlays calibrate one device, schemes rebuild many")
 		return
 	}
 	if !checkCtx(w, r) {
@@ -341,7 +414,10 @@ func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 // including the per-power-state residency and background breakdown (over
 // all channels, so the four slot counters sum to channels x slots).
 type TraceResponse struct {
-	ModelKey         string           `json:"model_key"`
+	ModelKey string `json:"model_key"`
+	// Calibrated marks a replay against a calibrated model (omitted
+	// otherwise, keeping uncalibrated responses byte-identical).
+	Calibrated       bool             `json:"calibrated,omitempty"`
 	Channels         int              `json:"channels"`
 	Commands         int64            `json:"commands"`
 	Slots            int64            `json:"slots"`
@@ -416,10 +492,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		channels = c
 	}
 
+	// The body is trace text, so calibration only arrives via the query
+	// parameter (or the server default). model= references an
+	// already-built model whose calibration — if any — is baked into its
+	// key; combining it with a fresh overlay is contradictory.
 	var m *core.Model
 	var key string
 	switch {
 	case q.Get("model") != "":
+		if q.Get("calibration") != "" {
+			writeError(w, http.StatusBadRequest,
+				"model= references an already-built model; its calibration is part of the key, calibration= cannot apply")
+			return
+		}
 		key = q.Get("model")
 		if m = s.cache.peek(key); m == nil {
 			writeError(w, http.StatusNotFound,
@@ -437,17 +522,23 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		ov, ok := s.effectiveOverlay(w, r, nil)
+		if !ok {
+			return
+		}
 		d := n.Description()
-		key = DescriptorKey(d)
-		if m, err = s.cache.get(key, func() (*core.Model, error) { return core.Build(d) }); err != nil {
+		if key, m, err = s.getModel(d, ov); err != nil {
 			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
 			return
 		}
 	default:
+		ov, ok := s.effectiveOverlay(w, r, nil)
+		if !ok {
+			return
+		}
 		d := desc.Sample1GbDDR3()
-		key = DescriptorKey(d)
 		var err error
-		if m, err = s.cache.get(key, func() (*core.Model, error) { return core.Build(d) }); err != nil {
+		if key, m, err = s.getModel(d, ov); err != nil {
 			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
 			return
 		}
@@ -463,7 +554,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.traceSlots.Add(res.Slots)
 	s.tracePowerDownSlots.Add(res.PowerDownSlots)
 	s.traceSelfRefreshSlots.Add(res.SelfRefreshSlots)
-	writeJSON(w, http.StatusOK, TraceResponseFor(res, key, channels))
+	out := TraceResponseFor(res, key, channels)
+	out.Calibrated = m.Calibrated()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ctxReader aborts a streaming read once the request context is done, so

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drampower/internal/desc"
 	"drampower/internal/engine"
 	"drampower/internal/metrics"
 )
@@ -71,6 +72,11 @@ type Options struct {
 	AccessLog io.Writer
 	// Registry receives the server's metrics; nil creates a fresh one.
 	Registry *metrics.Registry
+	// Calibration is a default calibration overlay applied to every model
+	// the server builds unless the request carries its own (a Calibration
+	// section in the body or a calibration query parameter). Nil serves
+	// uncalibrated models.
+	Calibration *desc.Overlay
 }
 
 // withDefaults resolves the zero values.
@@ -124,6 +130,11 @@ type Server struct {
 	traceSlots            *metrics.Counter
 	tracePowerDownSlots   *metrics.Counter
 	traceSelfRefreshSlots *metrics.Counter
+
+	// calibratedBuilds counts model builds that applied a non-empty
+	// calibration overlay (the overlay half of the derive → overlay → seal
+	// pipeline running server-side).
+	calibratedBuilds *metrics.Counter
 }
 
 // New builds a server. The caller owns the returned server's lifecycle:
@@ -149,6 +160,8 @@ func New(opts Options) *Server {
 		"Replayed slots spent in precharge power-down (IDD2P residency).")
 	s.traceSelfRefreshSlots = s.reg.Counter("dramserved_trace_selfrefresh_slots_total", "",
 		"Replayed slots spent in self-refresh (IDD6 residency).")
+	s.calibratedBuilds = s.reg.Counter("dramserved_calibrated_builds_total", "",
+		"Model builds that applied a non-empty calibration overlay.")
 
 	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))

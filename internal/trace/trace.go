@@ -144,8 +144,11 @@ func New(m *core.Model) *Simulator {
 	// Power-state entry/exit commands carry no charge events of their own
 	// (CKE is a control pin); their energy effect is entirely the
 	// background-state change, so their opEnergy slots stay zero.
-	s.statePower[StateActive] = float64(m.Background().Power)
-	s.statePower[StatePrecharged] = float64(m.Background().Power)
+	// Resolved background power, not the derived itemized ledger: a
+	// calibration overlay that pins standby must move the residency
+	// accounting with it.
+	s.statePower[StateActive] = float64(m.BackgroundPower())
+	s.statePower[StatePrecharged] = float64(m.BackgroundPower())
 	s.statePower[StatePowerDown] = float64(m.PowerDownPower())
 	s.statePower[StateSelfRefresh] = float64(m.SelfRefreshPower())
 	s.state = StatePrecharged

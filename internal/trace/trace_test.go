@@ -334,18 +334,67 @@ func TestClosedPageTraceMatchesIDD7Pattern(t *testing.T) {
 // The Issue accept path is provably allocation-free: per-op counters and
 // energies are fixed arrays and the activate history is a ring buffer.
 func TestIssueZeroAllocs(t *testing.T) {
-	m := model(t)
-	cmds := RandomClosedPage(m, 400, 0.5, 2) // 1200 commands
-	s := New(m)
-	i := 0
-	allocs := testing.AllocsPerRun(1100, func() {
-		if err := s.Issue(cmds[i]); err != nil {
-			panic(err)
-		}
-		i++
-	})
-	if allocs != 0 {
-		t.Errorf("Issue allocated %.2f times per command, want 0", allocs)
+	ov, err := desc.ParseOverlayString("standby *= 0.9\nop.rd.energy *= 1.07\nidd6 = 4mA\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated, err := core.BuildCalibrated(desc.Sample1GbDDR3(), ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot path must stay allocation-free for calibrated models too:
+	// the overlay resolves at Build time, never on Issue.
+	for _, tc := range []struct {
+		name string
+		m    *core.Model
+	}{
+		{"derived", model(t)},
+		{"calibrated", calibrated},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cmds := RandomClosedPage(tc.m, 400, 0.5, 2) // 1200 commands
+			s := New(tc.m)
+			i := 0
+			allocs := testing.AllocsPerRun(1100, func() {
+				if err := s.Issue(cmds[i]); err != nil {
+					panic(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("Issue allocated %.2f times per command, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCalibratedTraceEnergy checks the seal stage reaches the trace
+// simulator: a standby scaling moves the background residency energy and
+// a read-energy scaling moves the command energy.
+func TestCalibratedTraceEnergy(t *testing.T) {
+	base := model(t)
+	ov, err := desc.ParseOverlayString("standby *= 0.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildCalibrated(desc.Sample1GbDDR3(), ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := RandomClosedPage(base, 100, 0.5, 7)
+	br, err := Evaluate(base, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Evaluate(m, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(cr.Background), float64(br.Background)*0.5; math.Abs(got-want) > want*1e-12 {
+		t.Errorf("calibrated background energy %v, want %v", got, want)
+	}
+	if cr.CommandEnergy != br.CommandEnergy {
+		t.Errorf("standby calibration moved command energy: %v vs %v", cr.CommandEnergy, br.CommandEnergy)
 	}
 }
 

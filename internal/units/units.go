@@ -269,6 +269,24 @@ func ParseVoltage(s string) (Voltage, error) {
 	return Voltage(v), err
 }
 
+// ParseCurrent parses strings such as "58mA", "1.2A".
+func ParseCurrent(s string) (Current, error) {
+	v, err := parseWithUnit(s, "A")
+	return Current(v), err
+}
+
+// ParsePower parses strings such as "45mW", "1.1W".
+func ParsePower(s string) (Power, error) {
+	v, err := parseWithUnit(s, "W")
+	return Power(v), err
+}
+
+// ParseEnergy parses strings such as "2.4nJ", "135pJ".
+func ParseEnergy(s string) (Energy, error) {
+	v, err := parseWithUnit(s, "J")
+	return Energy(v), err
+}
+
 // ParseDuration parses strings such as "48.75ns", "13.75ns", "7.8us".
 func ParseDuration(s string) (Duration, error) {
 	v, err := parseWithUnit(s, "s")
