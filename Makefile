@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-all check serve-smoke fuzz-short
+.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short
 
 all: check
 
@@ -25,6 +25,16 @@ bench:
 	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server' -benchmem . \
 		| $(GO) run ./tools/benchjson -echo > BENCH_trace.json
 
+# Regression gate: rerun the bench snapshot into a scratch file and
+# compare it against the committed BENCH_trace.json; >10% regressions in
+# ns/op or cmds/s fail the build. Override BENCH_THRESHOLD for noisier
+# runners.
+BENCH_THRESHOLD ?= 10
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server' -benchmem . \
+		| $(GO) run ./tools/benchjson > BENCH_new.json
+	$(GO) run ./tools/benchjson -compare BENCH_trace.json -threshold $(BENCH_THRESHOLD) BENCH_new.json
+
 # Every benchmark in the repo (the full reproduction log).
 bench-all:
 	$(GO) test -bench=. -benchmem .
@@ -42,6 +52,7 @@ fuzz-short:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
 	$(GO) test -fuzz FuzzOverlay -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
 	$(GO) test -fuzz FuzzTraceScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz FuzzBinaryScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
 
 # The full gate: everything CI (and a reviewer) expects to be green.
 # CI runs the race detector as its own job (ci.yml "race"), so check

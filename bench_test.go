@@ -423,11 +423,42 @@ func BenchmarkTraceScan(b *testing.B) {
 	b.ReportMetric(float64(len(cmds))*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
 }
 
+// BenchmarkTraceScanBinary measures binary (dtb) ingestion alone:
+// decoding the packed varint encoding without simulating it, the
+// counterpart of BenchmarkTraceScan. MB/s comes from SetBytes — note the
+// binary trace is ~5x smaller than the same commands as text.
+func BenchmarkTraceScanBinary(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmds := trace.RandomClosedPage(m, 1<<13, 0.5, 1)
+	var buf bytes.Buffer
+	if err := trace.WriteBinaryTrace(&buf, cmds); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := trace.NewBinaryScanner(bytes.NewReader(data))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if err := sc.Err(); err != nil || n != len(cmds) {
+			b.Fatalf("scanned %d/%d commands: %v", n, len(cmds), err)
+		}
+	}
+	b.ReportMetric(float64(len(cmds))*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+}
+
 // benchTraceReplay measures the full streaming replay pipeline — scan,
 // shard, simulate, merge — over a generated multi-channel closed-page
-// trace. cmds/s counts commands through the whole pipeline; MB/s is the
-// trace-text ingestion rate.
-func benchTraceReplay(b *testing.B, channels, workers int) {
+// trace, rendered as text or dtb binary. cmds/s counts commands through
+// the whole pipeline; MB/s is the trace ingestion rate.
+func benchTraceReplay(b *testing.B, channels, workers int, binary bool) {
 	b.Helper()
 	m, err := Build(Sample1GbDDR3())
 	if err != nil {
@@ -439,7 +470,11 @@ func benchTraceReplay(b *testing.B, channels, workers int) {
 	}
 	var buf bytes.Buffer
 	cmds := trace.Interleave(per, m.D.Spec.Banks())
-	if err := trace.WriteTrace(&buf, cmds); err != nil {
+	write := trace.WriteTrace
+	if binary {
+		write = trace.WriteBinaryTrace
+	}
+	if err := write(&buf, cmds); err != nil {
 		b.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -459,17 +494,27 @@ func benchTraceReplay(b *testing.B, channels, workers int) {
 }
 
 // BenchmarkTraceReplay1Ch is the single-channel, single-worker baseline —
-// the serial streaming path.
-func BenchmarkTraceReplay1Ch(b *testing.B) { benchTraceReplay(b, 1, 1) }
+// the serial streaming path over trace text.
+func BenchmarkTraceReplay1Ch(b *testing.B) { benchTraceReplay(b, 1, 1, false) }
 
-// BenchmarkTraceReplay8Ch1Worker replays an 8-channel trace serially:
-// the fair denominator for the parallel speedup.
-func BenchmarkTraceReplay8Ch1Worker(b *testing.B) { benchTraceReplay(b, 8, 1) }
+// BenchmarkTraceReplay8Ch1Worker replays an 8-channel text trace
+// serially: the fair denominator for the parallel speedup.
+func BenchmarkTraceReplay8Ch1Worker(b *testing.B) { benchTraceReplay(b, 8, 1, false) }
 
-// BenchmarkTraceReplay8Ch replays an 8-channel trace with one worker per
-// CPU; on a 4+ core machine this shows the multi-channel speedup over
+// BenchmarkTraceReplay8Ch replays an 8-channel text trace with one worker
+// per CPU; on a 4+ core machine this shows the multi-channel speedup over
 // BenchmarkTraceReplay8Ch1Worker.
-func BenchmarkTraceReplay8Ch(b *testing.B) { benchTraceReplay(b, 8, 0) }
+func BenchmarkTraceReplay8Ch(b *testing.B) { benchTraceReplay(b, 8, 0, false) }
+
+// BenchmarkTraceReplay1ChBinary replays the single-channel workload from
+// the dtb binary encoding: the decode cost drops out of the text
+// tokenizer's ~65ns/cmd into the varint decoder's ~10ns/cmd.
+func BenchmarkTraceReplay1ChBinary(b *testing.B) { benchTraceReplay(b, 1, 1, true) }
+
+// BenchmarkTraceReplay8ChBinary is the headline ingest benchmark: an
+// 8-channel replay fed from dtb binary input through the pipelined
+// decoder (ISSUE 7 target: ≥3x the committed text-input cmds/s).
+func BenchmarkTraceReplay8ChBinary(b *testing.B) { benchTraceReplay(b, 8, 0, true) }
 
 func min(a, b int) int {
 	if a < b {

@@ -15,18 +15,26 @@
 //	dramtrace -gen closed -n 100000          # emit a generated trace
 //	dramtrace -gen streaming -channels 4 -n 1000000 | dramtrace -channels 4
 //	dramtrace -gen refresh -idle 1 -n 1000   # power-down in every idle gap
+//	dramtrace -gen closed -format binary > t.dtb   # generate dtb binary
+//	dramtrace -convert binary t.txt > t.dtb  # text -> dtb binary
+//	dramtrace -convert text t.dtb            # dtb binary -> text
 //
-// The trace format is one command per line, `<slot> <op> [<bank>
+// The text trace format is one command per line, `<slot> <op> [<bank>
 // [<row>]]`, '#' comments; ops are the pattern mnemonics act, pre, rd,
 // wrt, nop, ref plus the power-state commands pde, pdx, sre, srx
-// (power-down / self-refresh entry and exit). With -gen, -n sets the
-// approximate command count and the trace is written to stdout instead of
-// replaying; -idle N additionally parks the device in precharge
-// power-down during every idle gap of at least N slots (1 = every gap
-// that fits a legal power-down window).
+// (power-down / self-refresh entry and exit). Traces may equivalently be
+// stored in the compact dtb binary encoding (see the README's "Binary
+// trace format" section); replay input auto-detects the encoding from
+// the first byte, -convert translates between the two, and `-gen -format
+// binary` emits dtb directly. With -gen, -n sets the approximate command
+// count and the trace is written to stdout instead of replaying; -idle N
+// additionally parks the device in precharge power-down during every
+// idle gap of at least N slots (1 = every gap that fits a legal
+// power-down window).
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +53,7 @@ func main() {
 	var workers int
 	cli.WorkersVar(&workers, "the replay")
 	format := cli.FormatVar()
+	convert := flag.String("convert", "", "convert the input trace to the given encoding (text or binary) on stdout instead of replaying")
 	gen := flag.String("gen", "", "generate a trace to stdout instead of replaying: streaming, closed or refresh")
 	n := flag.Int("n", 100000, "approximate command count for -gen")
 	readShare := flag.Float64("readshare", 0.7, "read share of generated column commands")
@@ -53,7 +62,23 @@ func main() {
 	calib := cli.OverlayVar()
 	flag.Parse()
 
-	cli.MustFormat("dramtrace", *format)
+	// -format binary selects the dtb trace encoding for -gen output; the
+	// replay report itself is text or json.
+	if *format == "binary" {
+		if *gen == "" {
+			cli.Fatalf("dramtrace", "-format binary only applies to -gen output (use -convert binary to re-encode a trace)")
+		}
+	} else {
+		cli.MustFormat("dramtrace", *format)
+	}
+
+	if *convert != "" {
+		in, name := openInput()
+		if err := convertTrace(in, *convert); err != nil {
+			cli.FatalInput("dramtrace", name, err)
+		}
+		return
+	}
 
 	d := src.Description()
 	m, err := drampower.BuildCalibrated(d, cli.LoadOverlay("dramtrace", *calib))
@@ -62,23 +87,13 @@ func main() {
 	}
 
 	if *gen != "" {
-		if err := generate(m, *gen, *channels, *n, *readShare, *seed, *idle); err != nil {
+		if err := generate(m, *gen, *channels, *n, *readShare, *seed, *idle, *format == "binary"); err != nil {
 			cli.Fatal("dramtrace", err)
 		}
 		return
 	}
 
-	in := io.Reader(os.Stdin)
-	name := "<stdin>"
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			cli.Fatal("dramtrace", err)
-		}
-		defer f.Close()
-		in, name = f, flag.Arg(0)
-	}
-
+	in, name := openInput()
 	cr := &countingReader{r: in}
 	start := time.Now()
 	res, err := drampower.ReplayTrace(m, cr, drampower.ReplayOptions{Channels: *channels, Workers: workers})
@@ -88,10 +103,60 @@ func main() {
 	report(res, cr.n, *channels, workers, time.Since(start), *format)
 }
 
+// openInput returns the trace input: the positional file argument, or
+// stdin. The file (if any) stays open until the process exits, which is
+// when replay or conversion finishes.
+func openInput() (io.Reader, string) {
+	if flag.NArg() == 0 {
+		return os.Stdin, "<stdin>"
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("dramtrace", err)
+	}
+	return f, flag.Arg(0)
+}
+
+// convertTrace streams the input trace (either encoding, sniffed) to
+// stdout in the requested encoding. No model is involved: conversion
+// re-encodes the command stream verbatim, without timing checks.
+func convertTrace(in io.Reader, out string) error {
+	src := drampower.NewTraceSource(in)
+	switch out {
+	case "text":
+		bw := bufio.NewWriter(os.Stdout)
+		var line []byte
+		for src.Scan() {
+			line = trace.AppendCommand(line[:0], src.Command())
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+		}
+		if err := src.Err(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	case "binary":
+		bw := drampower.NewBinaryTraceWriter(os.Stdout)
+		for src.Scan() {
+			if err := bw.WriteCommand(src.Command()); err != nil {
+				return err
+			}
+		}
+		if err := src.Err(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	default:
+		return fmt.Errorf("bad -convert %q (want text or binary)", out)
+	}
+}
+
 // generate writes a synthetic trace to stdout: per-channel workloads from
 // the generators in internal/trace, optionally parked in power-down
-// during idle gaps (-idle), interleaved into one global-bank trace.
-func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed, idle int64) error {
+// during idle gaps (-idle), interleaved into one global-bank trace, in
+// the text or (with -format binary) the dtb binary encoding.
+func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed, idle int64, binary bool) error {
 	if channels < 1 {
 		channels = 1
 	}
@@ -116,7 +181,11 @@ func generate(m *drampower.Model, kind string, channels, n int, readShare float6
 			chans[ch] = trace.WithPowerDown(m, chans[ch], idle)
 		}
 	}
-	return drampower.WriteTrace(os.Stdout, drampower.InterleaveChannels(chans, m.D.Spec.Banks()))
+	cmds := drampower.InterleaveChannels(chans, m.D.Spec.Banks())
+	if binary {
+		return drampower.WriteBinaryTrace(os.Stdout, cmds)
+	}
+	return drampower.WriteTrace(os.Stdout, cmds)
 }
 
 // countingReader counts the trace bytes consumed, for throughput

@@ -306,6 +306,15 @@ type (
 	// TraceParseError reports a malformed trace line with its 1-based
 	// line and column, mirroring ParseError's shape.
 	TraceParseError = trace.ParseError
+	// BinaryTraceScanner streams the compact dtb binary trace encoding
+	// (magic+version header, varint-delta slots, packed op/bank/row);
+	// see internal/trace for the layout.
+	BinaryTraceScanner = trace.BinaryScanner
+	// BinaryTraceWriter encodes commands into the dtb binary format.
+	BinaryTraceWriter = trace.BinaryWriter
+	// TraceSource is a command stream: the common interface of
+	// TraceScanner and BinaryTraceScanner that the replayer consumes.
+	TraceSource = trace.Source
 	// Replayer shards a multi-channel trace across one simulator per
 	// channel and replays the channels concurrently.
 	Replayer = trace.Replayer
@@ -362,11 +371,12 @@ func NewReplayer(m *Model, opts ReplayOptions) *Replayer {
 	return trace.NewReplayer(m, opts)
 }
 
-// ReplayTrace streams a command trace from r against the model, sharded
-// across opts.Channels channels replayed concurrently by opts.Workers
-// workers, and reports the deterministically merged result. With one
-// channel the energy totals are bit-identical to RunTrace on the
-// materialized commands.
+// ReplayTrace streams a command trace from r against the model — text or
+// dtb binary, sniffed from the first byte — sharded across opts.Channels
+// channels replayed concurrently by opts.Workers workers, and reports the
+// deterministically merged result. Decode is pipelined with simulation
+// (round N+1 decodes while round N issues). With one channel the energy
+// totals are bit-identical to RunTrace on the materialized commands.
 func ReplayTrace(m *Model, r io.Reader, opts ReplayOptions) (TraceResult, error) {
 	return trace.Replay(m, r, opts)
 }
@@ -374,6 +384,25 @@ func ReplayTrace(m *Model, r io.Reader, opts ReplayOptions) (TraceResult, error)
 // WriteTrace renders commands in the trace text format; the output
 // round-trips through NewTraceScanner.
 func WriteTrace(w io.Writer, cmds []Command) error { return trace.WriteTrace(w, cmds) }
+
+// NewBinaryTraceScanner returns a streaming scanner over the dtb binary
+// trace encoding. It yields exactly the Command stream the text scanner
+// yields for the equivalent text trace, at several times the decode rate.
+func NewBinaryTraceScanner(r io.Reader) *BinaryTraceScanner { return trace.NewBinaryScanner(r) }
+
+// NewBinaryTraceWriter returns a buffered dtb binary trace encoder over
+// w (the header is written immediately; call Flush when done).
+func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter { return trace.NewBinaryWriter(w) }
+
+// WriteBinaryTrace renders commands in the dtb binary trace format; the
+// output round-trips through NewBinaryTraceScanner.
+func WriteBinaryTrace(w io.Writer, cmds []Command) error { return trace.WriteBinaryTrace(w, cmds) }
+
+// NewTraceSource returns a command stream over either trace encoding,
+// sniffing text vs. dtb binary from the first byte. ReplayTrace does
+// this internally; use NewTraceSource to feed format-agnostic input to a
+// Replayer or Simulator directly.
+func NewTraceSource(r io.Reader) TraceSource { return trace.NewSource(r) }
 
 // InterleaveChannels merges per-channel traces into one multi-channel
 // trace with global bank indices (channel ch's bank b becomes bank

@@ -8,6 +8,7 @@ package sensitivity
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"drampower/internal/core"
@@ -251,11 +252,20 @@ func SweepAllOpts(d *desc.Description, opts engine.Options) ([]Result, error) {
 // sensitivity, which is the physically honest reading of "this value was
 // measured". A nil or empty overlay reproduces SweepAllOpts bit for bit.
 func SweepCalibratedOpts(d *desc.Description, ov *desc.Overlay, opts engine.Options) ([]Result, error) {
+	if sweepInline(opts) {
+		opts = engine.Options{Workers: 1}
+	}
 	base, err := core.BuildCalibrated(d.Clone(), ov)
 	if err != nil {
 		return nil, err
 	}
-	basePower := float64(base.EvaluatePattern(base.PatternIDD7(0.5)).Power)
+	// The IDD7 measurement pattern depends only on Spec-derived geometry
+	// (bank count, burst and activation grouping), which no registry knob
+	// touches — every variant would derive the identical pattern, so it is
+	// derived once from the base and shared (the ledger each variant builds
+	// is what differs; see TestSweepPatternInvariantAcrossKnobs).
+	pattern := base.PatternIDD7(0.5)
+	basePower := float64(base.EvaluatePattern(pattern).Power)
 	if basePower <= 0 {
 		return nil, fmt.Errorf("sensitivity: base power is %g", basePower)
 	}
@@ -267,7 +277,7 @@ func SweepCalibratedOpts(d *desc.Description, ov *desc.Overlay, opts engine.Opti
 		if err != nil {
 			return 0, fmt.Errorf("sensitivity: %s x%g: %w", p.Name, factor, err)
 		}
-		return float64(m.EvaluatePattern(m.PatternIDD7(0.5)).Power), nil
+		return float64(m.EvaluatePattern(pattern).Power), nil
 	}
 
 	results, err := engine.Map(Registry(), func(_ int, p Parameter) (Result, error) {
@@ -293,6 +303,24 @@ func SweepCalibratedOpts(d *desc.Description, ov *desc.Overlay, opts engine.Opti
 		return results[i].RangePct > results[j].RangePct
 	})
 	return results, nil
+}
+
+// sweepInline reports whether the sweep should bypass parallel dispatch
+// and take the engine's serial fast path (no goroutines, no channel
+// traffic, jobs run on the caller). A sweep point is only two
+// cached-ledger builds — tens of microseconds — so fan-out pays solely
+// when there is real CPU parallelism to buy: with a single schedulable
+// CPU, a one-worker pool, or an explicit single worker, dispatch is pure
+// overhead and the inline path is strictly faster. Results are identical
+// either way (the engine orders results by job index).
+func sweepInline(opts engine.Options) bool {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return true
+	}
+	if opts.Pool != nil {
+		return opts.Pool.Size() == 1
+	}
+	return opts.Workers == 1
 }
 
 // Top returns the n highest-impact results (Table III shows the top 10).

@@ -2,8 +2,10 @@ package sensitivity
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
+	"drampower/internal/core"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
 	"drampower/internal/scaling"
@@ -287,5 +289,67 @@ func TestSweepCalibratedScalesRideAlong(t *testing.T) {
 	}
 	if nonzero < len(calib)/2 {
 		t.Errorf("calibrated sweep degenerate: only %d/%d parameters move power", nonzero, len(calib))
+	}
+}
+
+// TestSweepPatternInvariantAcrossKnobs pins the precondition behind the
+// sweep's shared-pattern optimization: SweepCalibratedOpts derives the
+// IDD7 measurement pattern once from the base model and reuses it for
+// every variant. That is only sound while no registry knob changes the
+// Spec-derived pattern geometry (banks, bursts, activation grouping) —
+// a future knob that does must fail here, not silently skew Figure 10.
+func TestSweepPatternInvariantAcrossKnobs(t *testing.T) {
+	d := desc.Sample1GbDDR3()
+	base, err := core.BuildCalibrated(d.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.PatternIDD7(0.5)
+	for _, p := range Registry() {
+		for _, f := range []float64{1 + Variation, 1 - Variation} {
+			c := d.Clone()
+			p.Apply(c, f)
+			m, err := core.BuildCalibrated(c, nil)
+			if err != nil {
+				t.Fatalf("%s x%g: %v", p.Name, f, err)
+			}
+			got := m.PatternIDD7(0.5)
+			if len(got.Loop) != len(want.Loop) {
+				t.Fatalf("%s x%g: pattern length %d, base %d", p.Name, f, len(got.Loop), len(want.Loop))
+			}
+			for i := range got.Loop {
+				if got.Loop[i] != want.Loop[i] {
+					t.Fatalf("%s x%g: pattern diverges from base at op %d", p.Name, f, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepInlineFallback pins the inline-dispatch decision: with one
+// schedulable CPU (always true under GOMAXPROCS=1 runners), a one-worker
+// pool or an explicit single worker, the sweep must take the serial fast
+// path; otherwise parallel dispatch stands.
+func TestSweepInlineFallback(t *testing.T) {
+	pool1 := engine.NewPool(1)
+	defer pool1.Close()
+	pool4 := engine.NewPool(4)
+	defer pool4.Close()
+	single := runtime.GOMAXPROCS(0) == 1
+	cases := []struct {
+		name string
+		opts engine.Options
+		want bool
+	}{
+		{"serial", engine.Options{Workers: 1}, true},
+		{"pool-of-one", engine.Options{Pool: pool1}, true},
+		{"default", engine.Options{}, single},
+		{"eight-workers", engine.Options{Workers: 8}, single},
+		{"pool-of-four", engine.Options{Pool: pool4}, single},
+	}
+	for _, c := range cases {
+		if got := sweepInline(c.opts); got != c.want {
+			t.Errorf("sweepInline(%s) = %v, want %v", c.name, got, c.want)
+		}
 	}
 }

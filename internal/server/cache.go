@@ -171,3 +171,54 @@ func (c *modelCache) keys() []string {
 	}
 	return out
 }
+
+// docEntry is a memoized /v1/evaluate body resolution: the parsed
+// description, the effective overlay (body section or server default) and
+// the model-cache key they hash to. Entries are shared across requests
+// and therefore immutable — any handler path that would mutate the
+// description (the pattern query override) must bypass the cache.
+type docEntry struct {
+	d   *desc.Description
+	ov  *desc.Overlay
+	key string
+}
+
+// docCache memoizes descriptor-body parsing by the SHA-256 of the raw
+// body bytes. The model cache already makes repeat evaluations skip
+// core.Build, but deriving the *key* still re-parses the body and
+// re-renders it canonically on every request — which is where most of the
+// hot path's allocations live. Byte-identical bodies (the steady state
+// for a client hammering one device) skip straight to the key.
+//
+// Eviction is deliberately crude: when the map fills, it is dropped
+// wholesale. Entries are tiny (a parsed description), the refill cost is
+// one parse per distinct body, and the common population is a handful of
+// devices, so LRU bookkeeping would be all overhead.
+type docCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[[sha256.Size]byte]docEntry
+}
+
+func newDocCache(max int) *docCache {
+	if max < 1 {
+		max = 1
+	}
+	return &docCache{max: max, m: make(map[[sha256.Size]byte]docEntry)}
+}
+
+func (c *docCache) get(sum [sha256.Size]byte) (docEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.m[sum]
+	c.mu.Unlock()
+	return e, ok
+}
+
+func (c *docCache) put(sum [sha256.Size]byte, e docEntry) {
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = make(map[[sha256.Size]byte]docEntry)
+	}
+	c.m[sum] = e
+	c.mu.Unlock()
+}

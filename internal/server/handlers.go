@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"drampower/internal/core"
 	"drampower/internal/desc"
@@ -74,18 +77,35 @@ func writeParseAwareError(w http.ResponseWriter, err error, fallback int) {
 	writeError(w, fallback, err.Error())
 }
 
-// writeJSON marshals v with a trailing newline. Encoding is deterministic
-// (struct order fixed, map keys sorted by encoding/json), which is what
-// lets tests assert byte-identical responses across cache hits/misses.
+// jsonBufPool recycles response encoding buffers across requests: the
+// cached /v1/evaluate path allocates a fresh marshal buffer per response
+// otherwise, the largest single term of its allocation profile.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes caps the buffers the pool retains; a one-off giant
+// response (a long sweep, a roadmap dump) shouldn't pin its buffer for
+// the process lifetime.
+const maxPooledBufBytes = 1 << 20
+
+// writeJSON encodes v with a trailing newline through a pooled buffer.
+// Encoding is deterministic (struct order fixed, map keys sorted by
+// encoding/json) and byte-identical to json.Marshal plus '\n', which is
+// what lets tests assert byte-identical responses across cache
+// hits/misses — and across this pooling.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
 		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
 }
 
 // readDocument reads and parses the request body as a combined document:
@@ -101,7 +121,7 @@ func (s *Server) readDocument(w http.ResponseWriter, r *http.Request) (*desc.Des
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return nil, nil, false
 	}
-	d, ov, err := desc.ParseDocument(strings.NewReader(string(body)))
+	d, ov, err := desc.ParseDocument(bytes.NewReader(body))
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return nil, nil, false
@@ -243,9 +263,9 @@ func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
 			CurrentA:       float64(res.Current),
 			BitsPerLoop:    res.BitsPerLoop,
 			EnergyPerBitPJ: float64(res.EnergyPerBit) * 1e12,
-			ByOpW:          map[string]float64{},
-			ByGroupW:       map[string]float64{},
-			ByDomainW:      map[string]float64{},
+			ByOpW:          make(map[string]float64, len(res.ByOp)),
+			ByGroupW:       make(map[string]float64, len(res.ByGroup)),
+			ByDomainW:      make(map[string]float64, len(res.ByDomain)),
 		},
 	}
 	for op, p := range res.ByOp {
@@ -261,17 +281,56 @@ func EvaluateResponseFor(m *core.Model, key string) EvaluateResponse {
 }
 
 // handleEvaluate: descriptor text in, full evaluation out, through the
-// model cache.
+// model cache — and, for byte-identical bodies, through the document
+// cache, which skips the parse and canonical re-rendering that otherwise
+// dominate a cache-hit request's allocations.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	d, bodyOv, ok := s.readDocument(w, r)
-	if !ok {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxDescriptorBytes))
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
 		return
+	}
+	q := r.URL.Query()
+	// With no overriding query parameters, the resolved (description,
+	// overlay, key) triple is a pure function of the body bytes, so it can
+	// be memoized by body hash. A pattern or calibration parameter takes
+	// the full path: pattern mutates the description (cached entries are
+	// shared and must stay immutable) and calibration changes the key.
+	plain := q.Get("calibration") == "" && q.Get("pattern") == ""
+	var sum [sha256.Size]byte
+	if plain {
+		sum = sha256.Sum256(body)
+		if ent, ok := s.docs.get(sum); ok {
+			if !checkCtx(w, r) {
+				return
+			}
+			m, err := s.cache.get(ent.key, func() (*core.Model, error) {
+				if !ent.ov.Empty() {
+					s.calibratedBuilds.Inc()
+				}
+				return core.BuildCalibrated(ent.d, ent.ov)
+			})
+			if err != nil {
+				writeParseAwareError(w, err, http.StatusUnprocessableEntity)
+				return
+			}
+			writeJSON(w, http.StatusOK, EvaluateResponseFor(m, ent.key))
+			return
+		}
+	}
+	d, bodyOv, err := desc.ParseDocument(bytes.NewReader(body))
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return
+	}
+	if d == nil {
+		d = desc.Sample1GbDDR3()
 	}
 	ov, ok := s.effectiveOverlay(w, r, bodyOv)
 	if !ok {
 		return
 	}
-	if p := r.URL.Query().Get("pattern"); p != "" {
+	if p := q.Get("pattern"); p != "" {
 		loop, err := parsePattern(p)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad pattern: %v", err))
@@ -286,6 +345,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusUnprocessableEntity)
 		return
+	}
+	if plain {
+		s.docs.put(sum, docEntry{d: d, ov: ov, key: key})
 	}
 	writeJSON(w, http.StatusOK, EvaluateResponseFor(m, key))
 }
@@ -465,7 +527,7 @@ func TraceResponseFor(res trace.Result, key string, channels int) TraceResponse 
 		PrechargedBgJ:    float64(res.PrechargedBackground),
 		PowerDownBgJ:     float64(res.PowerDownBackground),
 		SelfRefreshBgJ:   float64(res.SelfRefreshBackground),
-		Counts:           map[string]int64{},
+		Counts:           make(map[string]int64, len(res.Counts)),
 	}
 	for op, n := range res.Counts {
 		out.Commands += n
@@ -474,12 +536,19 @@ func TraceResponseFor(res trace.Result, key string, channels int) TraceResponse 
 	return out
 }
 
-// handleTrace streams the request body (trace text) through the replayer
-// against a model selected by query parameter: model=<key> references a
-// cached model from a prior /v1/evaluate, node=<nm> builds a roadmap
-// device, and neither selects the built-in sample. The body never
-// materializes: it flows from the socket through the scanner into the
-// per-channel simulators in bounded rounds.
+// TraceBinaryContentType is the media type of a dtb binary trace body on
+// POST /v1/trace. With this Content-Type the body is decoded strictly as
+// dtb (a malformed header is a 400, not a fallback to text); any other
+// type sniffs the encoding from the first byte.
+const TraceBinaryContentType = "application/x-dram-trace"
+
+// handleTrace streams the request body (trace text, or dtb binary — see
+// TraceBinaryContentType) through the replayer against a model selected
+// by query parameter: model=<key> references a cached model from a prior
+// /v1/evaluate, node=<nm> builds a roadmap device, and neither selects
+// the built-in sample. The body never materializes: it flows from the
+// socket through the scanner into the per-channel simulators in bounded
+// rounds, with decode pipelined against simulation.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	channels := 1
@@ -545,12 +614,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
-	res, err := trace.Replay(m, &ctxReader{ctx: r.Context(), r: body},
-		trace.ReplayOptions{Channels: channels, Pool: s.pool})
-	if err != nil {
+	rd := io.Reader(&ctxReader{ctx: r.Context(), r: body})
+	var src trace.Source
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == TraceBinaryContentType {
+		src = trace.NewBinaryScanner(rd)
+	} else {
+		src = trace.NewSource(rd)
+	}
+	rep := trace.NewReplayer(m, trace.ReplayOptions{Channels: channels, Pool: s.pool})
+	if err := rep.ReplaySource(src); err != nil {
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return
 	}
+	res := rep.Result(rep.Now() + int64(m.BurstSlots()))
 	s.traceSlots.Add(res.Slots)
 	s.tracePowerDownSlots.Add(res.PowerDownSlots)
 	s.traceSelfRefreshSlots.Add(res.SelfRefreshSlots)

@@ -111,6 +111,7 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 	cache *modelCache
+	docs  *docCache
 	pool  *engine.Pool
 	reg   *metrics.Registry
 
@@ -145,6 +146,7 @@ func New(opts Options) *Server {
 		opts:   opts,
 		mux:    http.NewServeMux(),
 		cache:  newModelCache(opts.CacheSize, opts.Registry),
+		docs:   newDocCache(opts.CacheSize * 2),
 		pool:   engine.NewPool(opts.Workers),
 		reg:    opts.Registry,
 		sem:    make(chan struct{}, opts.MaxInflight),

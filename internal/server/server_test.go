@@ -147,6 +147,53 @@ func TestEvaluatePatternOverride(t *testing.T) {
 	}
 }
 
+// The document cache memoizes body parsing for plain requests only.
+// Requests with pattern or calibration query parameters must bypass it
+// in both directions: they neither read a cached entry (pattern mutates
+// the description, and cached entries are shared) nor insert one, so a
+// plain request after an overridden one still serves the original bytes.
+func TestEvaluateDocumentCacheIsolation(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	src := desc.Format(desc.Sample1GbDDR3())
+
+	_, plain1 := post(t, hs.URL+"/v1/evaluate", src)
+	if n := len(s.docs.m); n != 1 {
+		t.Fatalf("doc cache entries after plain request = %d, want 1", n)
+	}
+
+	resp, patterned := post(t, hs.URL+"/v1/evaluate?pattern=act+nop+rd+nop+pre+nop", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pattern status %d: %s", resp.StatusCode, patterned)
+	}
+	if bytes.Equal(plain1, patterned) {
+		t.Fatal("pattern override returned the plain response")
+	}
+	if n := len(s.docs.m); n != 1 {
+		t.Fatalf("doc cache entries after pattern request = %d, want 1 (must not insert)", n)
+	}
+
+	// The cached entry must be untouched by the override: a plain request
+	// for the same body still serves the original bytes, without a parse.
+	_, plain2 := post(t, hs.URL+"/v1/evaluate", src)
+	if !bytes.Equal(plain1, plain2) {
+		t.Fatal("plain response changed after a pattern-override request on the same body")
+	}
+
+	// A body differing only in comments is a different byte string, so it
+	// occupies its own document-cache slot but shares the model.
+	builds := s.cache.builds.Value()
+	_, reformatted := post(t, hs.URL+"/v1/evaluate", "# comment\n"+src)
+	if !bytes.Equal(plain1, reformatted) {
+		t.Fatal("reformatted body produced different response bytes")
+	}
+	if n := len(s.docs.m); n != 2 {
+		t.Fatalf("doc cache entries after reformatted body = %d, want 2", n)
+	}
+	if got := s.cache.builds.Value(); got != builds {
+		t.Fatalf("reformatted body triggered %d extra builds", got-builds)
+	}
+}
+
 func TestDescriptorBodyLimit(t *testing.T) {
 	_, hs := newTestServer(t, Options{MaxDescriptorBytes: 64})
 	resp, _ := post(t, hs.URL+"/v1/evaluate", strings.Repeat("x", 1000))
@@ -212,6 +259,72 @@ func TestTraceByModelKey(t *testing.T) {
 	resp, body = post(t, hs.URL+"/v1/trace?model=deadbeef", "0 act 0 0\n")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown model status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// A dtb binary trace body under Content-Type application/x-dram-trace
+// produces a response byte-identical to the same commands as text —
+// encoding is transport, not semantics. A text body under the binary
+// Content-Type is a positioned 400 (no silent fallback), and a binary
+// body without the Content-Type still works via sniffing.
+func TestTraceBinaryBody(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	d := desc.Sample1GbDDR3()
+	m, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := trace.Streaming(m, 200, 0.7, 1)
+	var text, bin bytes.Buffer
+	if err := trace.WriteTrace(&text, cmds); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinaryTrace(&bin, cmds); err != nil {
+		t.Fatal(err)
+	}
+
+	postCT := func(ct string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/trace", ct, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	resp, wantBody := postCT("text/plain", text.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text body status %d: %s", resp.StatusCode, wantBody)
+	}
+	for name, ct := range map[string]string{
+		"declared": TraceBinaryContentType,
+		"params":   TraceBinaryContentType + "; charset=binary",
+		"sniffed":  "application/octet-stream",
+	} {
+		resp, body := postCT(ct, bin.Bytes())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s binary body status %d: %s", name, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, wantBody) {
+			t.Errorf("%s binary replay differs from text replay:\nbinary: %s\ntext:   %s", name, body, wantBody)
+		}
+	}
+
+	resp, body := postCT(TraceBinaryContentType, text.Bytes())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("text body declared binary: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "dtb") {
+		t.Errorf("error %q does not mention the dtb format", e.Error)
 	}
 }
 

@@ -15,6 +15,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"drampower/internal/core"
 	"drampower/internal/desc"
@@ -75,16 +76,104 @@ func NewReplayer(m *core.Model, opts ReplayOptions) *Replayer {
 // Channels returns the channel count.
 func (r *Replayer) Channels() int { return len(r.sims) }
 
-// ReplayScanner streams the scanner's commands through the per-channel
-// simulators: each round shards up to replayBatch commands by global bank
-// index and issues the per-channel batches concurrently on the engine
-// pool. It stops at the first parse error or timing violation; when
-// several channels of one round violate, the reported violation is the
-// one at the smallest slot (ties resolving to the lowest channel), not
-// merely the lowest-channel one — a slot-10 violation on channel 3 is
-// never masked by a slot-900 violation on channel 0.
-func (r *Replayer) ReplayScanner(sc *Scanner) error {
-	shards := make([][]Command, len(r.sims))
+// roundBuf is one double-buffered replay round: a decode slab the source
+// fills in bulk plus the per-channel shard slices the engine issues. Round
+// buffers are pooled across Replay* calls (roundPool), so steady-state
+// replay performs no per-call slab or shard allocations — the dominant
+// term of the old 4.9MB/op on BenchmarkTraceReplay1Ch.
+type roundBuf struct {
+	slab   []Command   // decoded commands, in stream order
+	shards [][]Command // per-channel commands, bank rebased to the channel
+	n      int         // commands decoded into this round
+	err    error       // parse error (issue the round first) or shard error
+	abort  bool        // err is a shard-range error: do NOT issue the round
+}
+
+// roundPool recycles round buffers across replays. The slabs are ~1MB
+// each (replayBatch commands), so reuse — not per-call make — is what
+// keeps the replay path's allocation profile flat.
+var roundPool = sync.Pool{New: func() any { return new(roundBuf) }}
+
+// getRound takes a pooled round buffer and sizes it for one replay round
+// over the given channel count, retaining previously grown capacities.
+func getRound(channels int) *roundBuf {
+	b := roundPool.Get().(*roundBuf)
+	if cap(b.slab) < replayBatch {
+		b.slab = make([]Command, replayBatch)
+	}
+	b.slab = b.slab[:replayBatch]
+	for len(b.shards) < channels {
+		b.shards = append(b.shards, nil)
+	}
+	b.shards = b.shards[:channels]
+	b.reset()
+	return b
+}
+
+// reset clears a round for refilling, keeping the allocated capacity.
+func (b *roundBuf) reset() {
+	for i := range b.shards {
+		b.shards[i] = b.shards[i][:0]
+	}
+	b.n, b.err, b.abort = 0, nil, false
+}
+
+// fillRound decodes the next round from src into buf and shards it by
+// global bank index. It reports whether the stream is exhausted (end of
+// input, parse error, or shard-range error) — the caller stops asking for
+// rounds once true.
+func (r *Replayer) fillRound(src Source, buf *roundBuf) (terminal bool) {
+	n := 0
+	if bs, ok := src.(batchSource); ok {
+		n = bs.ScanBatch(buf.slab)
+	} else {
+		for n < replayBatch && src.Scan() {
+			buf.slab[n] = src.Command()
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := buf.slab[i]
+		ch := 0
+		if r.banks > 0 {
+			ch = c.Bank / r.banks
+		}
+		if c.Bank < 0 || ch >= len(r.sims) {
+			// A shard-range error aborts the round: the commands before it
+			// are not issued (matching the pre-pipeline behavior, which
+			// returned before running the round).
+			buf.n = i
+			buf.err = &TimingError{c, fmt.Sprintf("bank %d outside the %d-channel x %d-bank system",
+				c.Bank, len(r.sims), r.banks)}
+			buf.abort = true
+			return true
+		}
+		c.Bank -= ch * r.banks
+		buf.shards[ch] = append(buf.shards[ch], c)
+	}
+	buf.n = n
+	if n < replayBatch {
+		buf.err = src.Err()
+		return true
+	}
+	return false
+}
+
+// ReplaySource streams commands through the per-channel simulators with
+// decode and simulation pipelined: a decoder goroutine fills round N+1
+// (bulk-decoding and sharding up to replayBatch commands by global bank
+// index) while the engine issues round N's per-channel batches, the two
+// rounds double-buffered through a 2-slot ring. Results are identical to
+// the serial loop — rounds are issued in stream order, the per-channel
+// command sequences don't depend on pipelining, and the merge stays in
+// channel order (see DESIGN §11 for the determinism argument).
+//
+// It stops at the first parse error or timing violation; when several
+// channels of one round violate, the reported violation is the one at the
+// smallest slot (ties resolving to the lowest channel), not merely the
+// lowest-channel one — a slot-10 violation on channel 3 is never masked
+// by a slot-900 violation on channel 0.
+func (r *Replayer) ReplaySource(src Source) error {
 	// Each channel returns its own violation as a value (not as the job
 	// error) so the earliest-slot one can be selected across channels;
 	// Run only ever fails with a *TimingError.
@@ -99,48 +188,87 @@ func (r *Replayer) ReplayScanner(sc *Scanner) error {
 		}
 		return te, nil
 	}
-	for {
-		for i := range shards {
-			shards[i] = shards[i][:0]
-		}
-		n := 0
-		for n < replayBatch && sc.Scan() {
-			c := sc.Command()
-			ch := 0
-			if r.banks > 0 {
-				ch = c.Bank / r.banks
+
+	bufA, bufB := getRound(len(r.sims)), getRound(len(r.sims))
+	free := make(chan *roundBuf, 2)
+	full := make(chan *roundBuf, 2)
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	free <- bufA
+	free <- bufB
+
+	// Decoder: pull an empty round from the ring, fill it from the
+	// source, hand it to the consumer. Only this goroutine touches src.
+	go func() {
+		defer close(done)
+		defer close(full)
+		for {
+			var buf *roundBuf
+			select {
+			case buf = <-free:
+			case <-quit:
+				return
 			}
-			if c.Bank < 0 || ch >= len(r.sims) {
-				return &TimingError{c, fmt.Sprintf("bank %d outside the %d-channel x %d-bank system",
-					c.Bank, len(r.sims), r.banks)}
+			buf.reset()
+			terminal := r.fillRound(src, buf)
+			select {
+			case full <- buf:
+			case <-quit:
+				return
 			}
-			c.Bank -= ch * r.banks
-			shards[ch] = append(shards[ch], c)
-			n++
-		}
-		if n == 0 {
-			break
-		}
-		violations, err := engine.Map(shards, issue, r.opts)
-		if err != nil {
-			return err
-		}
-		var first *TimingError
-		for _, te := range violations {
-			if te != nil && (first == nil || te.Cmd.Slot < first.Cmd.Slot) {
-				first = te
+			if terminal {
+				return
 			}
 		}
-		if first != nil {
-			return first
+	}()
+	defer func() {
+		// On every exit: stop the decoder, then reclaim both rounds (the
+		// channel handoffs order all decoder writes before this point).
+		close(quit)
+		<-done
+		roundPool.Put(bufA)
+		roundPool.Put(bufB)
+	}()
+
+	for buf := range full {
+		if buf.abort {
+			return buf.err
 		}
+		if buf.n > 0 {
+			violations, err := engine.Map(buf.shards, issue, r.opts)
+			if err != nil {
+				return err
+			}
+			var first *TimingError
+			for _, te := range violations {
+				if te != nil && (first == nil || te.Cmd.Slot < first.Cmd.Slot) {
+					first = te
+				}
+			}
+			if first != nil {
+				// A violation in the final partial round outranks the parse
+				// error that truncated it: the violation happened first.
+				return first
+			}
+		}
+		if buf.err != nil {
+			return buf.err
+		}
+		free <- buf
 	}
-	return sc.Err()
+	return nil
 }
 
-// Replay streams trace text from rd through the channels.
+// ReplayScanner streams the text scanner's commands through the
+// per-channel simulators on the decode/simulate pipeline.
+func (r *Replayer) ReplayScanner(sc *Scanner) error {
+	return r.ReplaySource(sc)
+}
+
+// Replay streams a trace from rd through the channels, sniffing the
+// encoding (dtb binary or text) from the first byte.
 func (r *Replayer) Replay(rd io.Reader) error {
-	return r.ReplayScanner(NewScanner(rd))
+	return r.ReplaySource(NewSource(rd))
 }
 
 // Now returns the latest slot any channel has reached.

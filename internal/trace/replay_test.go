@@ -152,7 +152,8 @@ func TestReplayParseErrorPropagates(t *testing.T) {
 
 // Acceptance: a 1M+ command trace streams through the replayer in bounded
 // rounds (never materialized as one slice) with energy totals bit-identical
-// to the in-memory Run path.
+// to the in-memory Run path — from both the text and the dtb binary
+// encoding, through the pipelined decoder.
 func TestMillionCommandStreamMatchesRun(t *testing.T) {
 	m := model(t)
 	cmds := RandomClosedPage(m, 333334, 0.5, 42) // 1,000,002 commands
@@ -163,13 +164,36 @@ func TestMillionCommandStreamMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(m, bytes.NewReader(traceText(t, cmds)), ReplayOptions{Channels: 1})
-	if err != nil {
+	var bin bytes.Buffer
+	if err := WriteBinaryTrace(&bin, cmds); err != nil {
 		t.Fatal(err)
 	}
-	if got.CommandEnergy != want.CommandEnergy || got.Background != want.Background ||
-		got.Total != want.Total || got.Bits != want.Bits || got.Slots != want.Slots {
-		t.Errorf("1M-command stream differs from in-memory run:\n run:    %+v\n stream: %+v", want, got)
+	encodings := map[string][]byte{"text": traceText(t, cmds), "binary": bin.Bytes()}
+	for name, data := range encodings {
+		got, err := Replay(m, bytes.NewReader(data), ReplayOptions{Channels: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.CommandEnergy != want.CommandEnergy || got.Background != want.Background ||
+			got.Total != want.Total || got.Bits != want.Bits || got.Slots != want.Slots {
+			t.Errorf("%s 1M-command stream differs from in-memory run:\n run:    %+v\n stream: %+v", name, want, got)
+		}
+	}
+}
+
+// A timing violation in the final, parse-error-truncated round outranks
+// the parse error: the violation happened at a slot the stream actually
+// reached, while the parse error merely ended it.
+func TestReplayViolationBeatsParseError(t *testing.T) {
+	m := model(t)
+	src := "10 rd 0 1\nbogus line\n" // rd on a bank that was never activated
+	_, err := Replay(m, strings.NewReader(src), ReplayOptions{})
+	var te *TimingError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is %T (%v), want *TimingError (the violation, not the parse error)", err, err)
+	}
+	if te.Cmd.Slot != 10 {
+		t.Errorf("violation at slot %d, want 10", te.Cmd.Slot)
 	}
 }
 

@@ -26,6 +26,19 @@
 //
 // With -echo the input is copied to stderr, keeping the human-readable
 // output visible when benchjson sits at the end of a pipe.
+//
+// With -compare the tool switches from conversion to regression
+// gating:
+//
+//	benchjson -compare old.json -threshold 10 new.json
+//
+// compares two snapshots it previously produced and exits non-zero when
+// any benchmark present in both regressed beyond the threshold — ns/op
+// rising or cmds/s falling by more than the given percent. Other metrics
+// are informational (allocation counts move legitimately with algorithm
+// changes; the throughput and latency numbers are the contract).
+// Benchmarks present in only one snapshot are reported but never fail
+// the gate, so adding or retiring a benchmark does not break CI.
 package main
 
 import (
@@ -54,16 +67,51 @@ type env struct {
 	NumCPU     int    `json:"num_cpu"`
 }
 
+// summary is the JSON document benchjson writes and -compare reads back.
+type summary struct {
+	Env        env         `json:"env"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
 func main() {
 	echo := flag.Bool("echo", false, "copy input lines to stderr")
+	compare := flag.String("compare", "", "baseline snapshot JSON; compare the positional snapshot against it and exit 1 on regressions")
+	threshold := flag.Float64("threshold", 10, "with -compare, tolerated regression percent in ns/op (rise) or cmds/s (fall)")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json [-threshold pct] new.json")
+			os.Exit(2)
+		}
+		oldS, err := loadSummary(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newS, err := loadSummary(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		bad, notes := regressions(oldS, newS, *threshold)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "benchjson:", n)
+		}
+		for _, r := range bad {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", r)
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %g%% against %s\n", len(bad), *threshold, *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %g%% against %s\n", *threshold, *compare)
+		return
+	}
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 64*1024), 1024*1024)
-	var out struct {
-		Env        env         `json:"env"`
-		Benchmarks []benchmark `json:"benchmarks"`
-	}
+	var out summary
 	out.Env = env{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -117,4 +165,71 @@ func parseLine(line string) (benchmark, bool) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, len(b.Metrics) > 0
+}
+
+func loadSummary(path string) (summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return summary{}, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// baseName strips the -N GOMAXPROCS suffix go test appends on
+// multi-processor runners ("BenchmarkTraceIssue-8" -> "BenchmarkTraceIssue"),
+// so snapshots from runners with different core counts still pair up.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// regressions pairs the two snapshots by (suffix-stripped) benchmark name
+// and applies the gate: a paired benchmark fails when its ns/op rose, or
+// its cmds/s fell, by more than pct percent. It returns the failures and
+// informational notes (unpaired benchmarks), both in new-snapshot order.
+func regressions(oldS, newS summary, pct float64) (bad, notes []string) {
+	byName := make(map[string]benchmark, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		byName[baseName(b.Name)] = b
+	}
+	paired := make(map[string]bool, len(newS.Benchmarks))
+	for _, nb := range newS.Benchmarks {
+		name := baseName(nb.Name)
+		ob, ok := byName[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (new benchmark, not gated)", name))
+			continue
+		}
+		paired[name] = true
+		if oldV, okO := ob.Metrics["ns/op"]; okO && oldV > 0 {
+			if newV, okN := nb.Metrics["ns/op"]; okN {
+				if change := 100 * (newV - oldV) / oldV; change > pct {
+					bad = append(bad, fmt.Sprintf("%s: ns/op %+.1f%% (%.4g -> %.4g)", name, change, oldV, newV))
+				}
+			}
+		}
+		if oldV, okO := ob.Metrics["cmds/s"]; okO && oldV > 0 {
+			if newV, okN := nb.Metrics["cmds/s"]; okN {
+				if change := 100 * (newV - oldV) / oldV; change < -pct {
+					bad = append(bad, fmt.Sprintf("%s: cmds/s %+.1f%% (%.4g -> %.4g)", name, change, oldV, newV))
+				}
+			}
+		}
+	}
+	for _, ob := range oldS.Benchmarks {
+		if name := baseName(ob.Name); !paired[name] {
+			notes = append(notes, fmt.Sprintf("%s: in baseline only (retired benchmark, not gated)", name))
+		}
+	}
+	return bad, notes
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, metrics map[string]float64) benchmark {
+	return benchmark{Name: name, Iterations: 100, Metrics: metrics}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkTraceIssue-8   28043592   42.8 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkTraceIssue-8" || b.Iterations != 28043592 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["ns/op"] != 42.8 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics %+v", b.Metrics)
+	}
+	for _, bad := range []string{"ok  \tdrampower\t1.2s", "PASS", "Benchmark", "BenchmarkX notanumber 1 ns/op"} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parseLine(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkTraceIssue-8":             "BenchmarkTraceIssue",
+		"BenchmarkTraceIssue":               "BenchmarkTraceIssue",
+		"BenchmarkServerEvaluate/cached-16": "BenchmarkServerEvaluate/cached",
+		"BenchmarkOddly-named":              "BenchmarkOddly-named",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegressionsGate(t *testing.T) {
+	oldS := summary{Benchmarks: []benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 100, "cmds/s": 1e6}),
+		bench("BenchmarkB", map[string]float64{"ns/op": 50}),
+		bench("BenchmarkRetired", map[string]float64{"ns/op": 10}),
+	}}
+	newS := summary{Benchmarks: []benchmark{
+		// A: ns/op +25% (regression), cmds/s -25% (regression).
+		bench("BenchmarkA-8", map[string]float64{"ns/op": 125, "cmds/s": 0.75e6}),
+		// B: +5%, inside the threshold.
+		bench("BenchmarkB", map[string]float64{"ns/op": 52.5}),
+		// New benchmark: noted, never gated.
+		bench("BenchmarkNew", map[string]float64{"ns/op": 9999}),
+	}}
+
+	bad, notes := regressions(oldS, newS, 10)
+	if len(bad) != 2 {
+		t.Fatalf("regressions = %v, want 2 entries", bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkA: ns/op +25.0%") {
+		t.Errorf("ns/op regression line %q", bad[0])
+	}
+	if !strings.Contains(bad[1], "BenchmarkA: cmds/s -25.0%") {
+		t.Errorf("cmds/s regression line %q", bad[1])
+	}
+	var sawNew, sawRetired bool
+	for _, n := range notes {
+		sawNew = sawNew || strings.Contains(n, "BenchmarkNew: not in baseline")
+		sawRetired = sawRetired || strings.Contains(n, "BenchmarkRetired: in baseline only")
+	}
+	if !sawNew || !sawRetired {
+		t.Errorf("notes missing unpaired benchmarks: %v", notes)
+	}
+
+	// A looser threshold passes everything.
+	if bad, _ := regressions(oldS, newS, 30); len(bad) != 0 {
+		t.Errorf("30%% threshold still flags %v", bad)
+	}
+
+	// Improvements never fail: faster ns/op and higher cmds/s are fine at
+	// any threshold.
+	improved := summary{Benchmarks: []benchmark{
+		bench("BenchmarkA", map[string]float64{"ns/op": 10, "cmds/s": 5e6}),
+	}}
+	if bad, _ := regressions(oldS, improved, 0.0001); len(bad) != 0 {
+		t.Errorf("improvement flagged as regression: %v", bad)
+	}
+}
