@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short
+.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short lint
 
 all: check
 
@@ -10,6 +10,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally (skipped
+# with a note when not installed); CI installs it and runs this as its
+# own job, so lint findings fail the build there.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -22,7 +32,7 @@ race:
 # trajectory to compare against. The human-readable output still lands
 # on stderr.
 bench:
-	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server' -benchmem . \
+	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server|Schedule' -benchmem . \
 		| $(GO) run ./tools/benchjson -echo > BENCH_trace.json
 
 # Regression gate: rerun the bench snapshot into a scratch file and
@@ -31,7 +41,7 @@ bench:
 # runners.
 BENCH_THRESHOLD ?= 10
 bench-gate:
-	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server' -benchmem . \
+	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server|Schedule' -benchmem . \
 		| $(GO) run ./tools/benchjson > BENCH_new.json
 	$(GO) run ./tools/benchjson -compare BENCH_trace.json -threshold $(BENCH_THRESHOLD) BENCH_new.json
 
@@ -53,6 +63,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzOverlay -fuzztime $(FUZZTIME) -run '^$$' ./internal/desc/
 	$(GO) test -fuzz FuzzTraceScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
 	$(GO) test -fuzz FuzzBinaryScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz FuzzAccessScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/ctl/
 
 # The full gate: everything CI (and a reviewer) expects to be green.
 # CI runs the race detector as its own job (ci.yml "race"), so check

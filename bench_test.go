@@ -13,6 +13,7 @@ import (
 	"math"
 	"testing"
 
+	"drampower/internal/ctl"
 	"drampower/internal/datasheet"
 	"drampower/internal/desc"
 	"drampower/internal/scaling"
@@ -515,6 +516,101 @@ func BenchmarkTraceReplay1ChBinary(b *testing.B) { benchTraceReplay(b, 1, 1, tru
 // 8-channel replay fed from dtb binary input through the pipelined
 // decoder (ISSUE 7 target: ≥3x the committed text-input cmds/s).
 func BenchmarkTraceReplay8ChBinary(b *testing.B) { benchTraceReplay(b, 8, 0, true) }
+
+// benchSchedule measures the memory-controller front-end: scheduling a
+// pre-generated in-memory access stream into a legal command trace under
+// the given page policy. req/s counts access requests through the
+// scheduler (the ISSUE 8 target is >= 1M req/s); cmds/s the commands it
+// emits.
+func benchSchedule(b *testing.B, opts ctl.Options) {
+	b.Helper()
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := ctl.GenerateAccesses(m, ctl.GenOptions{
+		N: 1 << 14, RowHit: 0.7, ReadShare: 0.7, Gap: 4, Seed: 1,
+		Channels: opts.Channels,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var emitted int64
+	for i := 0; i < b.N; i++ {
+		cmds, stats, err := ctl.ScheduleRequests(m, reqs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmds) == 0 || stats.Requests != int64(len(reqs)) {
+			b.Fatalf("scheduled %d commands for %d requests", len(cmds), stats.Requests)
+		}
+		emitted = stats.Commands
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(emitted)*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+}
+
+// BenchmarkScheduleOpen schedules a 70%-locality stream open-page: the
+// fast path is one column command per row hit.
+func BenchmarkScheduleOpen(b *testing.B) {
+	benchSchedule(b, ctl.Options{Policy: ctl.PolicyOpen})
+}
+
+// BenchmarkScheduleClosed schedules the same stream closed-page: every
+// request emits the full ACT/column/PRE triple.
+func BenchmarkScheduleClosed(b *testing.B) {
+	benchSchedule(b, ctl.Options{Policy: ctl.PolicyClosed})
+}
+
+// BenchmarkScheduleTimeout exercises the timeout policy's expiry sweep
+// plus the power-down inserter — the scheduler's bookkeeping-heavy
+// configuration.
+func BenchmarkScheduleTimeout(b *testing.B) {
+	benchSchedule(b, ctl.Options{Policy: ctl.PolicyTimeout, PageTimeout: 64, PowerDownAfter: 32})
+}
+
+// BenchmarkSchedule4Ch spreads the stream over four channels (open
+// page): per-channel state is independent, so the mapper and the merge
+// are the only cross-channel costs.
+func BenchmarkSchedule4Ch(b *testing.B) {
+	benchSchedule(b, ctl.Options{Policy: ctl.PolicyOpen, Channels: 4})
+}
+
+// BenchmarkScheduleScanAccess measures access-trace ingestion alone:
+// parsing the .dab text format without scheduling it.
+func BenchmarkScheduleScanAccess(b *testing.B) {
+	m, err := Build(Sample1GbDDR3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := ctl.GenerateAccesses(m, ctl.GenOptions{
+		N: 1 << 13, RowHit: 0.7, ReadShare: 0.7, Gap: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ctl.WriteAccessTrace(&buf, reqs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := ctl.NewScanner(bytes.NewReader(data))
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if err := sc.Err(); err != nil || n != len(reqs) {
+			b.Fatalf("scanned %d/%d requests: %v", n, len(reqs), err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,230 @@
+// Command dramctl is the memory-controller front-end: it schedules an
+// access trace (timestamped read/write requests against a flat physical
+// address space) into a legal DRAM command trace, replays it against the
+// power model, and reports the row-buffer outcomes alongside the energy
+// accounting. It is the tool that answers the paper's controller-side
+// questions — what a page policy, an address map or a power-down
+// threshold costs in joules on a given request stream.
+//
+// Usage:
+//
+//	dramctl access.dab                         # schedule + replay, report energy
+//	dramctl -policy closed access.txt          # closed-page policy
+//	dramctl -policy timeout=64 -pd-timeout 32 access.txt
+//	dramctl -map ro:ch:ba:co -channels 2 access.txt
+//	dramctl -emit text access.txt > trace.txt  # emit the scheduled trace instead
+//	dramctl -emit binary access.txt > t.dtb    # ... in dtb binary
+//	dramctl -gen -n 100000 -rowhit 0.8 > a.dab # generate an access trace
+//	dramctl -format json access.txt            # machine-readable report
+//
+// The access-trace text format is one request per line, `<slot> <r|w>
+// <addr>` ('#' comments; rd/wr/read/write also accepted; decimal or 0x
+// hex addresses). The equivalent .dab binary encoding is sniffed from
+// the first byte, like dtb for command traces. -policy selects open,
+// closed or timeout=N page management; -pd-timeout/-sr-after arm the
+// power-down policy (enter precharge power-down / self-refresh once a
+// channel has been idle with all banks closed that many slots). With
+// -gen, a synthetic access stream is written to stdout instead
+// (-rowhit sets the row-locality probability, -gap the arrival spacing).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"drampower"
+	"drampower/internal/cli"
+)
+
+func main() {
+	src := cli.NewSource("dramctl", "desc", false)
+	policyFlag := flag.String("policy", "open", "page policy: open, closed or timeout=N (idle slots)")
+	mapSpec := flag.String("map", drampower.DefaultAddressMap, "address interleave spec (fields ch, ba, ro, co joined by ':', MSB first)")
+	channels := flag.Int("channels", 1, "number of channels the flat address space spreads over (power of two)")
+	pdTimeout := flag.Int64("pd-timeout", 0, "enter precharge power-down after this many idle all-banks-closed slots (0 = never)")
+	srAfter := flag.Int64("sr-after", 0, "prefer self-refresh for idle gaps at least this long (0 = never)")
+	emit := flag.String("emit", "", "emit the scheduled command trace to stdout (text or binary) instead of replaying")
+	var workers int
+	cli.WorkersVar(&workers, "the replay")
+	format := cli.FormatVar()
+	gen := flag.Bool("gen", false, "generate a synthetic access trace to stdout instead of scheduling")
+	n := flag.Int("n", 100000, "request count for -gen")
+	rowhit := flag.Float64("rowhit", 0.5, "with -gen: probability a request reuses its bank's open row, in [0,1]")
+	readShare := flag.Float64("readshare", 0.7, "with -gen: read share of generated requests")
+	gap := flag.Int64("gap", 8, "with -gen: arrival spacing between requests in slots")
+	seed := flag.Uint64("seed", 1, "with -gen: RNG seed")
+	genFormat := flag.String("gen-format", "text", "with -gen: output encoding (text or binary)")
+	calib := cli.OverlayVar()
+	flag.Parse()
+	cli.MustFormat("dramctl", *format)
+
+	policy, pageTimeout, err := drampower.ParseControllerPolicy(*policyFlag)
+	if err != nil {
+		cli.Fatal("dramctl", err)
+	}
+	d := src.Description()
+	m, err := drampower.BuildCalibrated(d, cli.LoadOverlay("dramctl", *calib))
+	if err != nil {
+		cli.Fatal("dramctl", err)
+	}
+
+	if *gen {
+		if err := generate(m, *n, *rowhit, *readShare, *gap, *seed, *mapSpec, *channels, *genFormat); err != nil {
+			cli.Fatal("dramctl", err)
+		}
+		return
+	}
+
+	opts := drampower.ControllerOptions{
+		Policy:           policy,
+		PageTimeout:      pageTimeout,
+		Map:              *mapSpec,
+		Channels:         *channels,
+		PowerDownAfter:   *pdTimeout,
+		SelfRefreshAfter: *srAfter,
+	}
+	in, name := openInput()
+	start := time.Now()
+	cmds, stats, err := drampower.ScheduleTrace(m, in, opts)
+	if err != nil {
+		cli.FatalInput("dramctl", name, err)
+	}
+	schedWall := time.Since(start)
+
+	switch *emit {
+	case "":
+	case "text":
+		if err := drampower.WriteTrace(os.Stdout, cmds); err != nil {
+			cli.Fatal("dramctl", err)
+		}
+		return
+	case "binary":
+		if err := drampower.WriteBinaryTrace(os.Stdout, cmds); err != nil {
+			cli.Fatal("dramctl", err)
+		}
+		return
+	default:
+		cli.Fatalf("dramctl", "bad -emit %q (want text or binary)", *emit)
+	}
+
+	// Replay the scheduled trace directly (no serialize round trip): the
+	// energy report is exactly what dramtrace would print for the emitted
+	// trace.
+	r := drampower.NewReplayer(m, drampower.ReplayOptions{Channels: *channels, Workers: workers})
+	if err := r.ReplaySource(drampower.NewCommandSliceSource(cmds)); err != nil {
+		cli.Fatal("dramctl", err)
+	}
+	res := r.Result(r.Now() + int64(m.BurstSlots()))
+	report(*policyFlag, opts, stats, res, schedWall, time.Since(start), *format)
+}
+
+// openInput returns the access-trace input: the positional file
+// argument, or stdin.
+func openInput() (io.Reader, string) {
+	if flag.NArg() == 0 {
+		return os.Stdin, "<stdin>"
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("dramctl", err)
+	}
+	return f, flag.Arg(0)
+}
+
+// generate writes a synthetic access trace to stdout.
+func generate(m *drampower.Model, n int, rowhit, readShare float64, gap int64, seed uint64, mapSpec string, channels int, format string) error {
+	reqs, err := drampower.GenerateAccesses(m, drampower.AccessGenOptions{
+		N: n, RowHit: rowhit, ReadShare: readShare, Gap: gap, Seed: seed,
+		Map: mapSpec, Channels: channels,
+	})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		return drampower.WriteAccessTrace(os.Stdout, reqs)
+	case "binary":
+		return drampower.WriteBinaryAccessTrace(os.Stdout, reqs)
+	default:
+		return fmt.Errorf("bad -gen-format %q (want text or binary)", format)
+	}
+}
+
+// output is the JSON shape of a scheduling report.
+type output struct {
+	Policy            string                  `json:"policy"`
+	Map               string                  `json:"map"`
+	Channels          int                     `json:"channels"`
+	Schedule          drampower.ScheduleStats `json:"schedule"`
+	RowHitRate        float64                 `json:"row_hit_rate"`
+	Slots             int64                   `json:"slots"`
+	DurationSeconds   float64                 `json:"duration_seconds"`
+	CommandEnergyJ    float64                 `json:"command_energy_j"`
+	BackgroundJ       float64                 `json:"background_energy_j"`
+	TotalJ            float64                 `json:"total_energy_j"`
+	AveragePowerW     float64                 `json:"average_power_w"`
+	EnergyPerBitPJ    float64                 `json:"energy_per_bit_pj"`
+	PowerDownSlots    int64                   `json:"power_down_slots"`
+	SelfRefreshSlots  int64                   `json:"self_refresh_slots"`
+	ScheduleSeconds   float64                 `json:"schedule_seconds"`
+	WallSeconds       float64                 `json:"wall_seconds"`
+	RequestsPerSecond float64                 `json:"requests_per_second"`
+}
+
+func report(policy string, opts drampower.ControllerOptions, stats drampower.ScheduleStats, res drampower.TraceResult, schedWall, wall time.Duration, format string) {
+	mapSpec := opts.Map
+	if mapSpec == "" {
+		mapSpec = drampower.DefaultAddressMap
+	}
+	o := output{
+		Policy:           policy,
+		Map:              mapSpec,
+		Channels:         opts.Channels,
+		Schedule:         stats,
+		RowHitRate:       stats.RowHitRate(),
+		Slots:            res.Slots,
+		DurationSeconds:  float64(res.Duration),
+		CommandEnergyJ:   float64(res.CommandEnergy),
+		BackgroundJ:      float64(res.Background),
+		TotalJ:           float64(res.Total),
+		AveragePowerW:    float64(res.AveragePower),
+		EnergyPerBitPJ:   float64(res.EnergyPerBit) * 1e12,
+		PowerDownSlots:   res.PowerDownSlots,
+		SelfRefreshSlots: res.SelfRefreshSlots,
+		ScheduleSeconds:  schedWall.Seconds(),
+		WallSeconds:      wall.Seconds(),
+	}
+	if s := schedWall.Seconds(); s > 0 {
+		o.RequestsPerSecond = float64(stats.Requests) / s
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o); err != nil {
+			cli.Fatal("dramctl", err)
+		}
+		return
+	}
+	fmt.Printf("scheduled %d requests (%d rd, %d wr) -> %d commands over %d channel(s), policy %s, map %s\n",
+		stats.Requests, stats.Reads, stats.Writes, stats.Commands, o.Channels, o.Policy, o.Map)
+	fmt.Printf("  row buffer:      %.1f%% hits (%d hit / %d miss / %d conflict)\n",
+		100*o.RowHitRate, stats.RowHits, stats.RowMisses, stats.RowConflicts)
+	if stats.TimeoutPrecharges > 0 {
+		fmt.Printf("  page timeout:    %d precharges\n", stats.TimeoutPrecharges)
+	}
+	if stats.PowerDowns+stats.SelfRefreshes > 0 {
+		fmt.Printf("  low power:       %d power-down, %d self-refresh entries (%d + %d slots resident)\n",
+			stats.PowerDowns, stats.SelfRefreshes, o.PowerDownSlots, o.SelfRefreshSlots)
+	}
+	fmt.Printf("  trace:           %d slots (%.3f ms simulated)\n", o.Slots, o.DurationSeconds*1e3)
+	fmt.Printf("  command energy:  %.4g J\n", o.CommandEnergyJ)
+	fmt.Printf("  background:      %.4g J\n", o.BackgroundJ)
+	fmt.Printf("  total:           %.4g J  (%.1f mW avg, %.2f pJ/bit)\n",
+		o.TotalJ, o.AveragePowerW*1e3, o.EnergyPerBitPJ)
+	fmt.Printf("  throughput:      %.2f Mreq/s scheduled (%.3f s wall)\n",
+		o.RequestsPerSecond/1e6, o.WallSeconds)
+}

@@ -15,6 +15,7 @@
 //	dramtrace -gen closed -n 100000          # emit a generated trace
 //	dramtrace -gen streaming -channels 4 -n 1000000 | dramtrace -channels 4
 //	dramtrace -gen refresh -idle 1 -n 1000   # power-down in every idle gap
+//	dramtrace -gen mixed -rowhit 0.8         # controller-scheduled locality mix
 //	dramtrace -gen closed -format binary > t.dtb   # generate dtb binary
 //	dramtrace -convert binary t.txt > t.dtb  # text -> dtb binary
 //	dramtrace -convert text t.dtb            # dtb binary -> text
@@ -30,7 +31,12 @@
 // count and the trace is written to stdout instead of replaying; -idle N
 // additionally parks the device in precharge power-down during every
 // idle gap of at least N slots (1 = every gap that fits a legal
-// power-down window).
+// power-down window). The streaming and closed kinds sit at the locality
+// extremes (every access hits its row / no access does); `-gen mixed`
+// fills the middle by scheduling a synthetic access stream through the
+// open-page memory controller, with -rowhit setting the probability a
+// request reuses its bank's open row (default 0.5; see dramctl for the
+// full controller front-end).
 package main
 
 import (
@@ -54,9 +60,10 @@ func main() {
 	cli.WorkersVar(&workers, "the replay")
 	format := cli.FormatVar()
 	convert := flag.String("convert", "", "convert the input trace to the given encoding (text or binary) on stdout instead of replaying")
-	gen := flag.String("gen", "", "generate a trace to stdout instead of replaying: streaming, closed or refresh")
+	gen := flag.String("gen", "", "generate a trace to stdout instead of replaying: streaming, closed, refresh or mixed")
 	n := flag.Int("n", 100000, "approximate command count for -gen")
 	readShare := flag.Float64("readshare", 0.7, "read share of generated column commands")
+	rowhit := flag.Float64("rowhit", 0.5, "with -gen mixed: probability an access reuses its bank's open row, in [0,1]")
 	seed := flag.Int64("seed", 1, "base RNG seed for -gen")
 	idle := flag.Int64("idle", 0, "with -gen: enter power-down in idle gaps of at least this many slots (0 = never)")
 	calib := cli.OverlayVar()
@@ -87,7 +94,7 @@ func main() {
 	}
 
 	if *gen != "" {
-		if err := generate(m, *gen, *channels, *n, *readShare, *seed, *idle, *format == "binary"); err != nil {
+		if err := generate(m, *gen, *channels, *n, *readShare, *rowhit, *seed, *idle, *format == "binary"); err != nil {
 			cli.Fatal("dramtrace", err)
 		}
 		return
@@ -155,10 +162,38 @@ func convertTrace(in io.Reader, out string) error {
 // generate writes a synthetic trace to stdout: per-channel workloads from
 // the generators in internal/trace, optionally parked in power-down
 // during idle gaps (-idle), interleaved into one global-bank trace, in
-// the text or (with -format binary) the dtb binary encoding.
-func generate(m *drampower.Model, kind string, channels, n int, readShare float64, seed, idle int64, binary bool) error {
+// the text or (with -format binary) the dtb binary encoding. The mixed
+// kind instead drives the controller front-end: a random access stream
+// with -rowhit row locality, scheduled open-page into a legal trace.
+func generate(m *drampower.Model, kind string, channels, n int, readShare, rowhit float64, seed, idle int64, binary bool) error {
 	if channels < 1 {
 		channels = 1
+	}
+	if kind == "mixed" {
+		if idle > 0 {
+			return fmt.Errorf("-idle does not apply to -gen mixed (schedule with dramctl -pd-timeout instead)")
+		}
+		// A hit emits one command, a miss or conflict up to three; size the
+		// request count so the output lands near -n commands.
+		reqs := int(float64(n) / (1 + 2*(1-rowhit)))
+		if reqs < 1 {
+			reqs = 1
+		}
+		accesses, err := drampower.GenerateAccesses(m, drampower.AccessGenOptions{
+			N: reqs, RowHit: rowhit, ReadShare: readShare,
+			Gap: int64(m.BurstSlots()), Seed: uint64(seed), Channels: channels,
+		})
+		if err != nil {
+			return err
+		}
+		cmds, _, err := drampower.ScheduleAccesses(m, accesses, drampower.ControllerOptions{Channels: channels})
+		if err != nil {
+			return err
+		}
+		if binary {
+			return drampower.WriteBinaryTrace(os.Stdout, cmds)
+		}
+		return drampower.WriteTrace(os.Stdout, cmds)
 	}
 	perChannel := (n + channels - 1) / channels
 	chans := make([][]drampower.Command, channels)
@@ -173,7 +208,7 @@ func generate(m *drampower.Model, kind string, channels, n int, readShare float6
 		case "refresh":
 			chans[ch] = trace.RefreshOnly(m, perChannel)
 		default:
-			return fmt.Errorf("bad -gen %q (want streaming, closed or refresh)", kind)
+			return fmt.Errorf("bad -gen %q (want streaming, closed, refresh or mixed)", kind)
 		}
 		if idle > 0 {
 			// The insertion policy runs per channel: power-down legality

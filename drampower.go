@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"drampower/internal/core"
+	"drampower/internal/ctl"
 	"drampower/internal/datasheet"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
@@ -410,6 +411,122 @@ func NewTraceSource(r io.Reader) TraceSource { return trace.NewSource(r) }
 func InterleaveChannels(channels [][]Command, banksPerChannel int) []Command {
 	return trace.Interleave(channels, banksPerChannel)
 }
+
+// Re-exported controller types: the memory-controller front-end behind
+// the dramctl binary (see internal/ctl). The controller consumes an
+// access trace — timestamped read/write requests against a flat address
+// space — and schedules it into a legal command trace for the replayer,
+// under a configurable address map, page policy and power-down policy.
+type (
+	// AccessRequest is one access-trace entry: a read or write of one
+	// burst at a flat physical address, arriving at a control-clock slot.
+	AccessRequest = ctl.Request
+	// AccessScanner streams the access-trace text format (<slot> <r|w>
+	// <addr>, '#' comments).
+	AccessScanner = ctl.Scanner
+	// BinaryAccessScanner streams the .dab binary access-trace encoding.
+	BinaryAccessScanner = ctl.BinaryScanner
+	// AccessSource is a request stream: the common interface of the two
+	// access scanners that the controller consumes.
+	AccessSource = ctl.Source
+	// AccessParseError reports a malformed access-trace input with its
+	// 1-based position, mirroring TraceParseError's shape.
+	AccessParseError = ctl.ParseError
+	// Controller schedules one access stream into a command trace.
+	Controller = ctl.Controller
+	// ControllerOptions selects the page policy, address map, channel
+	// count and power-down policy of a scheduling run.
+	ControllerOptions = ctl.Options
+	// ControllerPolicy is the page-management policy (open, closed or
+	// timeout).
+	ControllerPolicy = ctl.Policy
+	// ScheduleStats summarizes a scheduling run: row-buffer outcomes,
+	// command counts and low-power insertions.
+	ScheduleStats = ctl.Stats
+	// ScheduleError reports a request the scheduler cannot place.
+	ScheduleError = ctl.ScheduleError
+	// AddressMapper is the configurable flat-address → (channel, bank,
+	// row, column) bit interleave.
+	AddressMapper = ctl.Mapper
+	// AccessGenOptions configures GenerateAccesses, including the RowHit
+	// locality knob.
+	AccessGenOptions = ctl.GenOptions
+)
+
+// Controller page policies (see ParseControllerPolicy for the flag
+// spellings).
+const (
+	PolicyOpenPage    = ctl.PolicyOpen
+	PolicyClosedPage  = ctl.PolicyClosed
+	PolicyPageTimeout = ctl.PolicyTimeout
+)
+
+// DefaultAddressMap is the controller's default interleave spec: row
+// above bank above channel above column, so consecutive addresses walk
+// one open row.
+const DefaultAddressMap = ctl.DefaultMap
+
+// NewController builds a memory-controller model. The zero options mean
+// open-page policy, the default "ro:ba:ch:co" address map, one channel
+// and no power-down.
+func NewController(m *Model, opts ControllerOptions) (*Controller, error) {
+	return ctl.NewController(m, opts)
+}
+
+// ScheduleTrace schedules an access trace read from r (text or .dab
+// binary, sniffed from the first byte) into a legal command trace with
+// global bank indices, plus scheduling stats. The result is
+// deterministic: same input and options, byte-identical trace.
+func ScheduleTrace(m *Model, r io.Reader, opts ControllerOptions) ([]Command, ScheduleStats, error) {
+	return ctl.Schedule(m, r, opts)
+}
+
+// ScheduleAccesses schedules an in-memory access-request slice.
+func ScheduleAccesses(m *Model, reqs []AccessRequest, opts ControllerOptions) ([]Command, ScheduleStats, error) {
+	return ctl.ScheduleRequests(m, reqs, opts)
+}
+
+// ParseControllerPolicy parses a page-policy flag value: "open",
+// "closed" or "timeout=N" (N the idle window in slots, returned
+// separately).
+func ParseControllerPolicy(s string) (ControllerPolicy, int64, error) {
+	return ctl.ParsePolicy(s)
+}
+
+// NewAccessScanner returns a streaming scanner over access-trace text.
+func NewAccessScanner(r io.Reader) *AccessScanner { return ctl.NewScanner(r) }
+
+// NewBinaryAccessScanner returns a streaming scanner over the .dab
+// binary access-trace encoding.
+func NewBinaryAccessScanner(r io.Reader) *BinaryAccessScanner { return ctl.NewBinaryScanner(r) }
+
+// NewAccessSource returns a request stream over either access-trace
+// encoding, sniffing text vs. .dab binary from the first byte.
+func NewAccessSource(r io.Reader) AccessSource { return ctl.NewAccessSource(r) }
+
+// WriteAccessTrace renders requests in the access-trace text format; the
+// output round-trips through NewAccessScanner.
+func WriteAccessTrace(w io.Writer, reqs []AccessRequest) error {
+	return ctl.WriteAccessTrace(w, reqs)
+}
+
+// WriteBinaryAccessTrace renders requests in the .dab binary access
+// format; the output round-trips through NewBinaryAccessScanner.
+func WriteBinaryAccessTrace(w io.Writer, reqs []AccessRequest) error {
+	return ctl.WriteBinaryAccessTrace(w, reqs)
+}
+
+// GenerateAccesses builds a deterministic synthetic access stream whose
+// RowHit knob sweeps the row-locality spectrum the paper's policy
+// comparisons turn on.
+func GenerateAccesses(m *Model, opts AccessGenOptions) ([]AccessRequest, error) {
+	return ctl.GenerateAccesses(m, opts)
+}
+
+// NewCommandSliceSource adapts an in-memory command slice to the
+// replayer's TraceSource interface, so a scheduled trace replays without
+// a serialize/re-parse round trip.
+func NewCommandSliceSource(cmds []Command) TraceSource { return trace.NewSliceSource(cmds) }
 
 // Re-exported serving types: the HTTP model-evaluation service behind the
 // dramserved binary (see internal/server).

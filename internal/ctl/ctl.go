@@ -1,0 +1,507 @@
+package ctl
+
+// The scheduler: turns a FIFO access stream into per-channel command
+// streams that trace.Simulator accepts without a single timing
+// violation, then merges them with trace.Interleave.
+//
+// The controller is deliberately simple — in-order, one request at a
+// time, one command per slot per channel — because the paper's question
+// is not "how fast can a controller go" but "how much energy does a
+// policy cost". Three decisions shape the answer and all three are
+// options here: the address map (mapper.go) fixes which requests share a
+// row, the page policy decides when rows close (open until conflict,
+// closed after every access, or closed after an idle timeout), and the
+// power-down policy decides whether idle gaps are spent in precharged
+// standby, precharge power-down or self-refresh.
+//
+// Scheduling is deterministic by construction: no maps are iterated, no
+// randomness or wall-clock time is read, and every placement is the
+// arithmetic earliest legal slot given prior placements. Same input,
+// same options -> byte-identical trace. See DESIGN §12 for the legality
+// argument (each emit mirrors one Simulator check).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"drampower/internal/core"
+	"drampower/internal/desc"
+	"drampower/internal/trace"
+)
+
+// Policy selects the page-management strategy.
+type Policy int
+
+const (
+	// PolicyOpen leaves a row open after access until a conflicting
+	// request or the end of the trace closes it. Cheapest when locality
+	// is high (row hits cost only a RD/WR), costly when it is low (every
+	// conflict pays PRE+ACT back to back, and an open row blocks
+	// power-down).
+	PolicyOpen Policy = iota
+	// PolicyClosed precharges the bank immediately after every access.
+	// Every request pays ACT+RD/WR+PRE, but the device returns to
+	// all-banks-closed at once, so idle gaps can drop into power-down.
+	PolicyClosed
+	// PolicyTimeout leaves rows open but closes any bank whose row has
+	// been idle for Options.PageTimeout slots — the middle ground real
+	// controllers ship.
+	PolicyTimeout
+)
+
+// String returns the -policy flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOpen:
+		return "open"
+	case PolicyClosed:
+		return "closed"
+	case PolicyTimeout:
+		return "timeout"
+	}
+	return "policy(" + strconv.Itoa(int(p)) + ")"
+}
+
+// ParsePolicy parses a -policy flag value: "open", "closed" or
+// "timeout=N" with N a positive idle window in slots.
+func ParsePolicy(s string) (Policy, int64, error) {
+	switch s {
+	case "open":
+		return PolicyOpen, 0, nil
+	case "closed":
+		return PolicyClosed, 0, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "timeout="); ok {
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("ctl: bad page timeout %q (want timeout=N with N >= 1)", s)
+		}
+		return PolicyTimeout, n, nil
+	}
+	return 0, 0, fmt.Errorf("ctl: unknown policy %q (want open, closed or timeout=N)", s)
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Policy is the page-management policy; PageTimeout is the idle
+	// window (slots) for PolicyTimeout and ignored otherwise.
+	Policy      Policy
+	PageTimeout int64
+
+	// Map is the address interleave spec (DefaultMap when empty).
+	Map string
+
+	// Channels is the number of independent channels the flat address
+	// space spreads over (power of two; 1 when zero).
+	Channels int
+
+	// PowerDownAfter, when positive, enters precharge power-down once a
+	// channel has had all banks closed and no work for that many slots —
+	// provided the gap to the next request is long enough to come back
+	// out (tCKEmin + tXP) without delaying it. Zero disables.
+	PowerDownAfter int64
+
+	// SelfRefreshAfter, when positive, prefers self-refresh over
+	// power-down for idle gaps at least that long (it must exceed
+	// PowerDownAfter to ever win; the exit pays tXS instead of tXP).
+	// Zero disables.
+	SelfRefreshAfter int64
+}
+
+// Stats summarizes one scheduling run.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+
+	// Row-buffer outcome per request: a hit finds the row open, a miss
+	// finds the bank closed, a conflict finds a different row open.
+	RowHits      int64 `json:"row_hits"`
+	RowMisses    int64 `json:"row_misses"`
+	RowConflicts int64 `json:"row_conflicts"`
+
+	// Commands is the total emitted, including power-state commands.
+	Commands int64 `json:"commands"`
+	// TimeoutPrecharges counts banks closed by the PolicyTimeout idle
+	// window (zero under other policies).
+	TimeoutPrecharges int64 `json:"timeout_precharges,omitempty"`
+	// PowerDowns and SelfRefreshes count inserted pde/pdx and sre/srx
+	// pairs.
+	PowerDowns    int64 `json:"power_downs,omitempty"`
+	SelfRefreshes int64 `json:"self_refreshes,omitempty"`
+
+	// Slots is the slot of the last scheduled command (zero for an empty
+	// trace).
+	Slots int64 `json:"slots"`
+}
+
+// RowHitRate returns RowHits over total requests (zero when empty).
+func (st Stats) RowHitRate() float64 {
+	if st.Requests == 0 {
+		return 0
+	}
+	return float64(st.RowHits) / float64(st.Requests)
+}
+
+// ScheduleError reports a request the scheduler cannot place: out of
+// FIFO order, or outside the mapped address space.
+type ScheduleError struct {
+	Index int // 0-based request ordinal
+	Req   Request
+	Msg   string
+	err   error
+}
+
+// Error implements the error interface.
+func (e *ScheduleError) Error() string {
+	return fmt.Sprintf("ctl: request %d (%s): %s", e.Index, e.Req, e.Msg)
+}
+
+// Unwrap exposes the underlying cause (e.g. the mapper error).
+func (e *ScheduleError) Unwrap() error { return e.err }
+
+// farPast mirrors the simulator's "never happened" timestamp sentinel.
+const farPast = math.MinInt64 / 2
+
+// bankMirror tracks one bank's scheduler-visible state.
+type bankMirror struct {
+	open    bool
+	row     int
+	actSlot int64 // last activate
+	preSlot int64 // last precharge
+	lastUse int64 // last column access (timeout policy clock)
+}
+
+// chanState mirrors the per-channel timing state the Simulator enforces,
+// so every placement below is legal by the same arithmetic the replay
+// checks with.
+type chanState struct {
+	cmds      []trace.Command
+	banks     []bankMirror
+	now       int64    // slot of the last emitted command (-1 when none)
+	busUntil  int64    // data bus free at this slot
+	exitValid int64    // row/column commands legal from this slot (tXP/tXS)
+	actRing   [4]int64 // last four activates, for tFAW
+	actCount  int64
+	openBanks int
+}
+
+// Controller schedules one access stream. It is single-use: build with
+// NewController, feed one Source to Schedule.
+type Controller struct {
+	opts   Options
+	mapper *Mapper
+	chans  []chanState
+
+	// timing constraints, hoisted from a throwaway Simulator so the
+	// mirror can never drift from what replay enforces
+	tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64
+	tCKE, tXP, tXS                          int64
+
+	stats Stats
+}
+
+// NewController builds a controller for the model. The zero Options
+// value means: open-page policy, DefaultMap, one channel, no power-down.
+func NewController(m *core.Model, opts Options) (*Controller, error) {
+	if opts.Channels < 1 {
+		opts.Channels = 1
+	}
+	spec := opts.Map
+	if spec == "" {
+		spec = DefaultMap
+	}
+	mapper, err := MapperFor(m, opts.Channels, spec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Policy == PolicyTimeout && opts.PageTimeout < 1 {
+		return nil, fmt.Errorf("ctl: timeout policy needs PageTimeout >= 1 (got %d)", opts.PageTimeout)
+	}
+	if opts.PowerDownAfter < 0 || opts.SelfRefreshAfter < 0 {
+		return nil, fmt.Errorf("ctl: negative power-down/self-refresh threshold")
+	}
+	c := &Controller{opts: opts, mapper: mapper}
+	sim := trace.New(m)
+	c.tRC, c.tRCD, c.tRP, c.tRAS, c.tRRD, c.tFAW, c.burst = sim.TimingSlots()
+	c.tCKE, c.tXP, c.tXS = sim.PowerStateSlots()
+	banks := m.D.Spec.Banks()
+	c.chans = make([]chanState, opts.Channels)
+	for i := range c.chans {
+		ch := &c.chans[i]
+		ch.banks = make([]bankMirror, banks)
+		for b := range ch.banks {
+			ch.banks[b].actSlot = farPast
+			ch.banks[b].preSlot = farPast
+			ch.banks[b].lastUse = farPast
+		}
+		ch.now = -1
+		ch.busUntil = farPast
+		ch.exitValid = farPast
+	}
+	return c, nil
+}
+
+// BanksPerChannel returns the per-channel bank count (for
+// trace.ReplayOptions and global-bank interpretation).
+func (c *Controller) BanksPerChannel() int {
+	return len(c.chans[0].banks)
+}
+
+// Mapper returns the address mapper in use.
+func (c *Controller) Mapper() *Mapper { return c.mapper }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// emit places one command on the channel at the later of want and the
+// next free command-bus slot (one command per slot per channel, so
+// per-channel slots are strictly increasing and the merged trace is in
+// non-decreasing slot order). It returns the slot actually used.
+func (c *Controller) emit(ch *chanState, want int64, op desc.Op, bank, row int) int64 {
+	slot := maxI64(want, ch.now+1)
+	ch.cmds = append(ch.cmds, trace.Command{Slot: slot, Op: op, Bank: bank, Row: row})
+	ch.now = slot
+	c.stats.Commands++
+	return slot
+}
+
+// earliestAct mirrors the Simulator's activate checks: tRC and tRP on
+// the bank, tRRD against the previous activate, tFAW against the
+// fourth-last, and the low-power exit window.
+func (c *Controller) earliestAct(ch *chanState, b *bankMirror, t int64) int64 {
+	at := maxI64(t, b.actSlot+c.tRC)
+	at = maxI64(at, b.preSlot+c.tRP)
+	at = maxI64(at, ch.exitValid)
+	if ch.actCount > 0 {
+		at = maxI64(at, ch.actRing[(ch.actCount-1)&3]+c.tRRD)
+	}
+	if c.tFAW > 0 && ch.actCount >= 4 {
+		at = maxI64(at, ch.actRing[(ch.actCount-4)&3]+c.tFAW)
+	}
+	return at
+}
+
+// activate emits ACT on bank b at its earliest legal slot at or after t
+// and updates the mirror.
+func (c *Controller) activate(ch *chanState, bi int, row int, t int64) int64 {
+	b := &ch.banks[bi]
+	slot := c.emit(ch, c.earliestAct(ch, b, t), desc.OpActivate, bi, row)
+	b.open, b.row, b.actSlot = true, row, slot
+	ch.actRing[ch.actCount&3] = slot
+	ch.actCount++
+	ch.openBanks++
+	return slot
+}
+
+// precharge emits PRE on bank b no earlier than tRAS allows.
+func (c *Controller) precharge(ch *chanState, bi int, want int64) int64 {
+	b := &ch.banks[bi]
+	want = maxI64(want, b.actSlot+c.tRAS)
+	want = maxI64(want, ch.exitValid)
+	slot := c.emit(ch, want, desc.OpPrecharge, bi, 0)
+	b.open = false
+	b.preSlot = slot
+	ch.openBanks--
+	return slot
+}
+
+// column emits RD/WR on the open row of bank b, honoring tRCD and the
+// data bus.
+func (c *Controller) column(ch *chanState, bi int, write bool, want int64) int64 {
+	b := &ch.banks[bi]
+	want = maxI64(want, b.actSlot+c.tRCD)
+	want = maxI64(want, ch.busUntil)
+	want = maxI64(want, ch.exitValid)
+	op := desc.OpRead
+	if write {
+		op = desc.OpWrite
+	}
+	slot := c.emit(ch, want, op, bi, b.row)
+	ch.busUntil = slot + c.burst
+	b.lastUse = slot
+	return slot
+}
+
+// sweepTimeouts closes banks whose rows have idled past the page
+// timeout, in (expiry, bank) order so placement is independent of bank
+// numbering accidents.
+func (c *Controller) sweepTimeouts(ch *chanState, t int64) {
+	if c.opts.Policy != PolicyTimeout {
+		return
+	}
+	for {
+		// Smallest unexpired-first: pick the open bank with the earliest
+		// expiry at or before t, lowest bank index on ties.
+		best, bestExpiry := -1, int64(0)
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			if !b.open {
+				continue
+			}
+			exp := maxI64(b.lastUse, b.actSlot) + c.opts.PageTimeout
+			if exp <= t && (best < 0 || exp < bestExpiry) {
+				best, bestExpiry = bi, exp
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c.precharge(ch, best, bestExpiry)
+		c.stats.TimeoutPrecharges++
+	}
+}
+
+// insertLowPower drops the channel into self-refresh or power-down
+// across the idle gap ending at the next request's first command slot
+// (start). The insertion is self-contained — entry and exit are emitted
+// together, sized so the pending command at start stays legal — and only
+// happens when all banks are closed, which is what couples page policy
+// to idle energy: an open-page controller holding a row open cannot
+// power down.
+func (c *Controller) insertLowPower(ch *chanState, start int64) {
+	if ch.openBanks > 0 {
+		return
+	}
+	if c.opts.PowerDownAfter <= 0 && c.opts.SelfRefreshAfter <= 0 {
+		return
+	}
+	// The channel is quiet once the last command issued, the last burst
+	// drained and any prior low-power exit completed.
+	quiet := maxI64(ch.now, ch.busUntil)
+	quiet = maxI64(quiet, ch.exitValid)
+	if quiet < 0 {
+		quiet = 0
+	}
+	// Prefer self-refresh for long gaps: deeper state, slower exit.
+	if sra := c.opts.SelfRefreshAfter; sra > 0 {
+		enter := maxI64(quiet+sra, ch.now+1)
+		exit := start - c.tXS
+		if exit >= enter+c.tCKE {
+			c.emit(ch, enter, trace.OpSelfRefreshEnter, 0, 0)
+			c.emit(ch, exit, trace.OpSelfRefreshExit, 0, 0)
+			ch.exitValid = exit + c.tXS
+			c.stats.SelfRefreshes++
+			return
+		}
+	}
+	if pda := c.opts.PowerDownAfter; pda > 0 {
+		enter := maxI64(quiet+pda, ch.now+1)
+		exit := start - c.tXP
+		if exit >= enter+c.tCKE {
+			c.emit(ch, enter, trace.OpPowerDownEnter, 0, 0)
+			c.emit(ch, exit, trace.OpPowerDownExit, 0, 0)
+			ch.exitValid = exit + c.tXP
+			c.stats.PowerDowns++
+		}
+	}
+}
+
+// firstCommandSlot computes where the request's first command would land
+// given current channel state, without emitting anything — the
+// power-down inserter needs it to size the idle gap.
+func (c *Controller) firstCommandSlot(ch *chanState, bi int, row int, t int64) int64 {
+	b := &ch.banks[bi]
+	switch {
+	case b.open && b.row == row: // hit: RD/WR directly
+		want := maxI64(t, b.actSlot+c.tRCD)
+		want = maxI64(want, ch.busUntil)
+		want = maxI64(want, ch.exitValid)
+		return maxI64(want, ch.now+1)
+	case b.open: // conflict: PRE first
+		want := maxI64(t, b.actSlot+c.tRAS)
+		want = maxI64(want, ch.exitValid)
+		return maxI64(want, ch.now+1)
+	default: // miss: ACT first
+		return maxI64(c.earliestAct(ch, b, t), ch.now+1)
+	}
+}
+
+// request schedules one mapped request arriving at slot t.
+func (c *Controller) request(ch *chanState, co Coord, write bool, t int64) {
+	bi := co.Bank
+	c.sweepTimeouts(ch, t)
+	c.insertLowPower(ch, c.firstCommandSlot(ch, bi, co.Row, t))
+	b := &ch.banks[bi]
+	switch {
+	case b.open && b.row == co.Row:
+		c.stats.RowHits++
+	case b.open:
+		c.stats.RowConflicts++
+		c.precharge(ch, bi, t)
+		c.activate(ch, bi, co.Row, t)
+	default:
+		c.stats.RowMisses++
+		c.activate(ch, bi, co.Row, t)
+	}
+	c.column(ch, bi, write, t)
+	if c.opts.Policy == PolicyClosed {
+		c.precharge(ch, bi, t)
+	}
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stats.Requests++
+}
+
+// Schedule consumes the access stream and returns the merged command
+// trace (global bank indices, non-decreasing slots) plus scheduling
+// stats. Requests must arrive in non-decreasing slot order.
+func (c *Controller) Schedule(src Source) ([]trace.Command, Stats, error) {
+	var last int64 = -1
+	idx := 0
+	for src.Scan() {
+		req := src.Request()
+		if req.Slot < last {
+			return nil, c.stats, &ScheduleError{Index: idx, Req: req,
+				Msg: fmt.Sprintf("out of order (previous request at slot %d)", last)}
+		}
+		last = req.Slot
+		co, err := c.mapper.Map(req.Addr)
+		if err != nil {
+			return nil, c.stats, &ScheduleError{Index: idx, Req: req, Msg: err.Error(), err: err}
+		}
+		c.request(&c.chans[co.Channel], co, req.Write, req.Slot)
+		idx++
+	}
+	if err := src.Err(); err != nil {
+		return nil, c.stats, err
+	}
+	perChan := make([][]trace.Command, len(c.chans))
+	for i := range c.chans {
+		perChan[i] = c.chans[i].cmds
+		if n := len(c.chans[i].cmds); n > 0 {
+			c.stats.Slots = maxI64(c.stats.Slots, c.chans[i].cmds[n-1].Slot)
+		}
+	}
+	merged := trace.Interleave(perChan, c.BanksPerChannel())
+	return merged, c.stats, nil
+}
+
+// Schedule builds a controller and schedules an access trace read from
+// rd (text or .dab, sniffed).
+func Schedule(m *core.Model, rd io.Reader, opts Options) ([]trace.Command, Stats, error) {
+	c, err := NewController(m, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return c.Schedule(NewAccessSource(rd))
+}
+
+// ScheduleRequests schedules an in-memory request slice.
+func ScheduleRequests(m *core.Model, reqs []Request, opts Options) ([]trace.Command, Stats, error) {
+	c, err := NewController(m, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return c.Schedule(NewSliceSource(reqs))
+}

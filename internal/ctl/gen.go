@@ -1,0 +1,125 @@
+package ctl
+
+// Synthetic access-stream generation with a controllable locality knob.
+// The generator exists so the rest of the stack can exercise the row-hit
+// spectrum — the paper's headline variable — without shipping real
+// workload traces: RowHit is the probability that a request lands in the
+// row its bank already has open, and sweeping it from 0 to 1 walks a
+// stream from pathological (every access a fresh row) to streaming
+// (every access a hit).
+//
+// Generation is deterministic: a hand-rolled splitmix64 PRNG seeded from
+// GenOptions.Seed, no global state, no dependence on Go's math/rand
+// sequence. Same options -> same requests, forever.
+
+import (
+	"fmt"
+
+	"drampower/internal/core"
+)
+
+// GenOptions configures GenerateAccesses.
+type GenOptions struct {
+	// N is the number of requests to generate.
+	N int
+	// RowHit in [0,1] is the probability a request reuses its bank's
+	// current row; the rest pick a fresh row uniformly. Zero is the
+	// pathological no-locality stream, one the perfectly streaming one.
+	RowHit float64
+	// ReadShare in [0,1] is the probability a request is a read
+	// (default 1 when negative).
+	ReadShare float64
+	// Gap is the arrival spacing in slots between consecutive requests
+	// (minimum 1; requests arrive at i*Gap).
+	Gap int64
+	// Seed selects the deterministic request sequence.
+	Seed uint64
+	// Map and Channels shape the address space (DefaultMap / 1 channel
+	// when zero); generated addresses always fit the mapper.
+	Map      string
+	Channels int
+}
+
+// splitmix64 is the PRNG step: tiny, seedable, stable across Go versions.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a PRNG draw onto [0,1).
+func unit(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
+// below draws one uniform [0,1) variate and compares it against p.
+func below(s *uint64, p float64) bool { return unit(splitmix64(s)) < p }
+
+// intn draws a uniform integer in [0,n) (n >= 1).
+func intn(s *uint64, n int) int { return int(splitmix64(s) % uint64(n)) }
+
+// GenerateAccesses builds a deterministic access stream for the model:
+// each request picks a uniform (channel, bank), stays in that bank's
+// open row with probability RowHit, and arrives Gap slots after its
+// predecessor.
+func GenerateAccesses(m *core.Model, opts GenOptions) ([]Request, error) {
+	if opts.N < 0 {
+		return nil, fmt.Errorf("ctl: negative request count %d", opts.N)
+	}
+	if opts.RowHit < 0 || opts.RowHit > 1 {
+		return nil, fmt.Errorf("ctl: row-hit probability %v outside [0,1]", opts.RowHit)
+	}
+	if opts.ReadShare > 1 {
+		return nil, fmt.Errorf("ctl: read share %v above 1", opts.ReadShare)
+	}
+	if opts.ReadShare < 0 {
+		opts.ReadShare = 1
+	}
+	if opts.Gap < 1 {
+		opts.Gap = 1
+	}
+	if opts.Channels < 1 {
+		opts.Channels = 1
+	}
+	spec := opts.Map
+	if spec == "" {
+		spec = DefaultMap
+	}
+	mapper, err := MapperFor(m, opts.Channels, spec)
+	if err != nil {
+		return nil, err
+	}
+	rows := 1 << uint(mapper.bits[FieldRow])
+	cols := 1 << uint(mapper.bits[FieldColumn])
+	banks := 1 << uint(mapper.bits[FieldBank])
+	// The current row per (channel, bank); -1 until first touched.
+	cur := make([]int, opts.Channels*banks)
+	for i := range cur {
+		cur[i] = -1
+	}
+	rng := opts.Seed
+	reqs := make([]Request, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		ch := 0
+		if opts.Channels > 1 {
+			ch = intn(&rng, opts.Channels)
+		}
+		ba := intn(&rng, banks)
+		row := cur[ch*banks+ba]
+		if row < 0 || !below(&rng, opts.RowHit) {
+			row = intn(&rng, rows)
+			cur[ch*banks+ba] = row
+		}
+		co := Coord{Channel: ch, Bank: ba, Row: row, Col: intn(&rng, cols)}
+		addr, err := mapper.Unmap(co)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, Request{
+			Slot:  int64(i) * opts.Gap,
+			Write: !below(&rng, opts.ReadShare),
+			Addr:  addr,
+		})
+	}
+	return reqs, nil
+}

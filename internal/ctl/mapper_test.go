@@ -1,0 +1,156 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+
+	"drampower/internal/desc"
+
+	"drampower/internal/core"
+)
+
+// specs lists every interleave order (all 24 permutations of the four
+// fields) so the round-trip property is pinned for the whole supported
+// space, not just the default.
+func specs() []string {
+	fields := []string{"ch", "ba", "ro", "co"}
+	var out []string
+	var rec func(cur []string, rest []string)
+	rec = func(cur, rest []string) {
+		if len(rest) == 0 {
+			out = append(out, strings.Join(cur, ":"))
+			return
+		}
+		for i := range rest {
+			next := append(append([]string{}, rest[:i]...), rest[i+1:]...)
+			rec(append(cur, rest[i]), next)
+		}
+	}
+	rec(nil, fields)
+	return out
+}
+
+// TestMapperRoundTrip is the satellite pin: for each supported
+// interleave spec, map→unmap over random addresses is the identity, and
+// distinct addresses never collide on one coordinate tuple.
+func TestMapperRoundTrip(t *testing.T) {
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs() {
+		for _, channels := range []int{1, 2, 4} {
+			mp, err := MapperFor(m, channels, spec)
+			if err != nil {
+				t.Fatalf("%s/%dch: %v", spec, channels, err)
+			}
+			limit := int64(1) << uint(mp.AddressBits())
+			seen := make(map[Coord]int64)
+			rng := uint64(0xfeed)
+			for i := 0; i < 4096; i++ {
+				addr := int64(splitmix64(&rng) % uint64(limit))
+				co, err := mp.Map(addr)
+				if err != nil {
+					t.Fatalf("%s/%dch: Map(%#x): %v", spec, channels, addr, err)
+				}
+				if co.Channel >= channels {
+					t.Fatalf("%s/%dch: Map(%#x) channel %d out of range", spec, channels, addr, co.Channel)
+				}
+				back, err := mp.Unmap(co)
+				if err != nil {
+					t.Fatalf("%s/%dch: Unmap(%+v): %v", spec, channels, co, err)
+				}
+				if back != addr {
+					t.Fatalf("%s/%dch: %#x -> %+v -> %#x not the identity", spec, channels, addr, co, back)
+				}
+				if prev, dup := seen[co]; dup && prev != addr {
+					t.Fatalf("%s/%dch: addresses %#x and %#x collide on %+v", spec, channels, prev, addr, co)
+				}
+				seen[co] = addr
+			}
+		}
+	}
+}
+
+// TestMapperExhaustiveSmall walks an entire small address space: the map
+// must be a bijection (every coordinate tuple hit exactly once).
+func TestMapperExhaustiveSmall(t *testing.T) {
+	mp, err := ParseMap("co:ro:ba:ch", 1, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1) << uint(mp.AddressBits())
+	if n != 256 {
+		t.Fatalf("address bits: got %d values, want 256", n)
+	}
+	seen := make(map[Coord]bool, n)
+	for addr := int64(0); addr < n; addr++ {
+		co, err := mp.Map(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[co] {
+			t.Fatalf("coordinate %+v hit twice", co)
+		}
+		seen[co] = true
+		back, err := mp.Unmap(co)
+		if err != nil || back != addr {
+			t.Fatalf("round trip %#x -> %+v -> %#x (%v)", addr, co, back, err)
+		}
+	}
+	if int64(len(seen)) != n {
+		t.Fatalf("bijection covered %d of %d tuples", len(seen), n)
+	}
+}
+
+func TestMapperErrors(t *testing.T) {
+	mp, err := ParseMap(DefaultMap, 1, 3, 13, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Map(-1); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, err := mp.Map(1 << uint(mp.AddressBits())); err == nil {
+		t.Error("address above the space accepted")
+	}
+	if _, err := mp.Unmap(Coord{Row: 1 << 13}); err == nil {
+		t.Error("row outside field accepted")
+	}
+	if _, err := mp.Unmap(Coord{Channel: 2}); err == nil {
+		t.Error("channel outside the 1-bit field accepted")
+	}
+	for _, bad := range []string{"", "ro", "ro:ba:ch", "ro:ba:ch:co:xx", "ro:ro:ch:co", "ro:bank:ch:co"} {
+		if _, err := ParseMap(bad, 1, 3, 13, 7); err == nil {
+			t.Errorf("ParseMap(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseMap(DefaultMap, -1, 3, 13, 7); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := ParseMap(DefaultMap, 31, 3, 13, 7); err == nil {
+		t.Error("31-bit width accepted")
+	}
+}
+
+func TestMapperForBurstColumns(t *testing.T) {
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MapperFor(m, 1, DefaultMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1Gb x16 DDR3: 13 row bits, 3 bank bits, 10 column bits minus 3
+	// burst bits (BL8) = 7 column bits, 0 channel bits -> 23 total.
+	if got := mp.AddressBits(); got != 23 {
+		t.Fatalf("AddressBits: got %d, want 23", got)
+	}
+	if _, err := MapperFor(m, 3, DefaultMap); err == nil {
+		t.Fatal("3 channels accepted")
+	}
+	if mp.Spec() != DefaultMap {
+		t.Fatalf("Spec: got %q", mp.Spec())
+	}
+}

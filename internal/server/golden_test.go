@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"drampower/internal/core"
+	"drampower/internal/ctl"
 	"drampower/internal/desc"
 	"drampower/internal/trace"
 )
@@ -66,6 +67,28 @@ func goldenTrace(t *testing.T) string {
 	return buf.String()
 }
 
+// goldenAccess renders a deterministic access stream for the schedule
+// golden: moderate locality with gaps wide enough that the timeout page
+// policy and the power-down threshold both fire.
+func goldenAccess(t *testing.T) string {
+	t.Helper()
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := ctl.GenerateAccesses(m, ctl.GenOptions{
+		N: 200, RowHit: 0.7, ReadShare: 0.7, Gap: 120, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ctl.WriteAccessTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
 func TestGoldenResponses(t *testing.T) {
 	_, hs := newTestServer(t, Options{})
 	src := desc.Format(desc.Sample1GbDDR3())
@@ -79,6 +102,7 @@ func TestGoldenResponses(t *testing.T) {
 		{"sweep.golden.json", "/v1/sweep", src},
 		{"schemes.golden.json", "/v1/schemes", src},
 		{"trace.golden.json", "/v1/trace", goldenTrace(t)},
+		{"schedule.golden.json", "/v1/schedule?policy=timeout=32&pd_timeout=64", goldenAccess(t)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"drampower/internal/core"
+	"drampower/internal/ctl"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
 	"drampower/internal/scaling"
@@ -72,6 +73,11 @@ func writeParseAwareError(w http.ResponseWriter, err error, fallback int) {
 	var tpe *trace.ParseError
 	if errors.As(err, &tpe) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: tpe.Line, Col: tpe.Col})
+		return
+	}
+	var cpe *ctl.ParseError
+	if errors.As(err, &cpe) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Line: cpe.Line, Col: cpe.Col})
 		return
 	}
 	writeError(w, fallback, err.Error())
@@ -542,75 +548,94 @@ func TraceResponseFor(res trace.Result, key string, channels int) TraceResponse 
 // type sniffs the encoding from the first byte.
 const TraceBinaryContentType = "application/x-dram-trace"
 
-// handleTrace streams the request body (trace text, or dtb binary — see
-// TraceBinaryContentType) through the replayer against a model selected
-// by query parameter: model=<key> references a cached model from a prior
-// /v1/evaluate, node=<nm> builds a roadmap device, and neither selects
-// the built-in sample. The body never materializes: it flows from the
-// socket through the scanner into the per-channel simulators in bounded
-// rounds, with decode pipelined against simulation.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	channels := 1
-	if cs := q.Get("channels"); cs != "" {
-		c, err := strconv.Atoi(cs)
-		if err != nil || c < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad channels %q (want positive integer)", cs))
-			return
-		}
-		channels = c
+// parseChannels reads the channels query parameter (default 1). The bool
+// result reports success; on failure the response has been written.
+func parseChannels(w http.ResponseWriter, q string) (int, bool) {
+	if q == "" {
+		return 1, true
 	}
+	c, err := strconv.Atoi(q)
+	if err != nil || c < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad channels %q (want positive integer)", q))
+		return 0, false
+	}
+	return c, true
+}
 
-	// The body is trace text, so calibration only arrives via the query
-	// parameter (or the server default). model= references an
-	// already-built model whose calibration — if any — is baked into its
-	// key; combining it with a fresh overlay is contradictory.
-	var m *core.Model
-	var key string
+// selectModel resolves the model a trace-style request evaluates against,
+// from its query parameters: model=<key> references a cached model from a
+// prior /v1/evaluate, node=<nm> builds a roadmap device, and neither
+// selects the built-in sample. The body of these requests is trace text,
+// so calibration only arrives via the query parameter (or the server
+// default); model= references an already-built model whose calibration —
+// if any — is baked into its key, so combining it with a fresh overlay is
+// contradictory and rejected. The bool result reports success; on failure
+// the response has been written.
+func (s *Server) selectModel(w http.ResponseWriter, r *http.Request) (string, *core.Model, bool) {
+	q := r.URL.Query()
 	switch {
 	case q.Get("model") != "":
 		if q.Get("calibration") != "" {
 			writeError(w, http.StatusBadRequest,
 				"model= references an already-built model; its calibration is part of the key, calibration= cannot apply")
-			return
+			return "", nil, false
 		}
-		key = q.Get("model")
-		if m = s.cache.peek(key); m == nil {
+		key := q.Get("model")
+		m := s.cache.peek(key)
+		if m == nil {
 			writeError(w, http.StatusNotFound,
 				fmt.Sprintf("model %q not cached; POST its descriptor to /v1/evaluate first", key))
-			return
+			return "", nil, false
 		}
+		return key, m, true
 	case q.Get("node") != "":
 		nm, err := strconv.ParseFloat(q.Get("node"), 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad node %q (want feature size in nm)", q.Get("node")))
-			return
+			return "", nil, false
 		}
 		n, err := scaling.NodeFor(nm)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return "", nil, false
 		}
 		ov, ok := s.effectiveOverlay(w, r, nil)
 		if !ok {
-			return
+			return "", nil, false
 		}
-		d := n.Description()
-		if key, m, err = s.getModel(d, ov); err != nil {
+		key, m, err := s.getModel(n.Description(), ov)
+		if err != nil {
 			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
-			return
+			return "", nil, false
 		}
+		return key, m, true
 	default:
 		ov, ok := s.effectiveOverlay(w, r, nil)
 		if !ok {
-			return
+			return "", nil, false
 		}
-		d := desc.Sample1GbDDR3()
-		var err error
-		if key, m, err = s.getModel(d, ov); err != nil {
+		key, m, err := s.getModel(desc.Sample1GbDDR3(), ov)
+		if err != nil {
 			writeParseAwareError(w, err, http.StatusUnprocessableEntity)
-			return
+			return "", nil, false
 		}
+		return key, m, true
+	}
+}
+
+// handleTrace streams the request body (trace text, or dtb binary — see
+// TraceBinaryContentType) through the replayer against a model selected
+// by query parameter (see selectModel). The body never materializes: it
+// flows from the socket through the scanner into the per-channel
+// simulators in bounded rounds, with decode pipelined against simulation.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	channels, ok := parseChannels(w, r.URL.Query().Get("channels"))
+	if !ok {
+		return
+	}
+	key, m, ok := s.selectModel(w, r)
+	if !ok {
+		return
 	}
 
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
@@ -648,6 +673,140 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	return c.r.Read(p)
+}
+
+// AccessBinaryContentType is the media type of a .dab binary access
+// trace body on POST /v1/schedule. With this Content-Type the body is
+// decoded strictly as .dab (a malformed header is a 400, not a fallback
+// to text); any other type sniffs the encoding from the first byte.
+const AccessBinaryContentType = "application/x-dram-access"
+
+// ScheduleResponse is the POST /v1/schedule body: the replay accounting
+// of the scheduled command trace (the same fields /v1/trace reports),
+// plus the controller's configuration and row-buffer statistics.
+type ScheduleResponse struct {
+	TraceResponse
+	Policy     string    `json:"policy"`
+	Map        string    `json:"map"`
+	Schedule   ctl.Stats `json:"schedule"`
+	RowHitRate float64   `json:"row_hit_rate"`
+}
+
+// ScheduleResponseFor assembles the /v1/schedule response (shared with
+// the bit-identity tests, like TraceResponseFor).
+func ScheduleResponseFor(stats ctl.Stats, res trace.Result, key string, channels int, policy, mapSpec string) ScheduleResponse {
+	return ScheduleResponse{
+		TraceResponse: TraceResponseFor(res, key, channels),
+		Policy:        policy,
+		Map:           mapSpec,
+		Schedule:      stats,
+		RowHitRate:    stats.RowHitRate(),
+	}
+}
+
+// scheduleOptions parses the controller configuration from the query:
+// policy (open, closed or timeout=N; default open), map (interleave
+// spec), channels, pd_timeout and sr_after (idle thresholds in slots).
+// The canonical policy spelling is returned for the response. The bool
+// result reports success; on failure the response has been written.
+func scheduleOptions(w http.ResponseWriter, q map[string][]string) (ctl.Options, string, bool) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	policyStr := get("policy")
+	if policyStr == "" {
+		policyStr = "open"
+	}
+	policy, pageTimeout, err := ctl.ParsePolicy(policyStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return ctl.Options{}, "", false
+	}
+	channels, ok := parseChannels(w, get("channels"))
+	if !ok {
+		return ctl.Options{}, "", false
+	}
+	opts := ctl.Options{
+		Policy:      policy,
+		PageTimeout: pageTimeout,
+		Map:         get("map"),
+		Channels:    channels,
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"pd_timeout", &opts.PowerDownAfter}, {"sr_after", &opts.SelfRefreshAfter}} {
+		if v := get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("bad %s %q (want idle threshold in slots, >= 0)", p.name, v))
+				return ctl.Options{}, "", false
+			}
+			*p.dst = n
+		}
+	}
+	if policy == ctl.PolicyTimeout {
+		policyStr = fmt.Sprintf("timeout=%d", pageTimeout)
+	}
+	return opts, policyStr, true
+}
+
+// handleSchedule runs the memory-controller front-end server-side: the
+// request body is an access trace (text, or .dab binary — see
+// AccessBinaryContentType), scheduled into a legal command trace by the
+// page policy, address map and power-down thresholds in the query, then
+// replayed in place against the selected model (see selectModel). The
+// response carries both halves: the controller's row-buffer statistics
+// and the energy accounting of the trace it emitted — what dramctl
+// reports, as a service.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	opts, policyStr, ok := scheduleOptions(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	key, m, ok := s.selectModel(w, r)
+	if !ok {
+		return
+	}
+	ctrl, err := ctl.NewController(m, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
+	rd := io.Reader(&ctxReader{ctx: r.Context(), r: body})
+	var src ctl.Source
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == AccessBinaryContentType {
+		src = ctl.NewBinaryScanner(rd)
+	} else {
+		src = ctl.NewAccessSource(rd)
+	}
+	cmds, stats, err := ctrl.Schedule(src)
+	if err != nil {
+		writeParseAwareError(w, err, http.StatusBadRequest)
+		return
+	}
+	// Replay the scheduled commands in place (no serialize round trip):
+	// the scheduler's legality contract guarantees this cannot fail on
+	// well-formed input, so a replay error here is a server bug, not a
+	// client one.
+	rep := trace.NewReplayer(m, trace.ReplayOptions{Channels: opts.Channels, Pool: s.pool})
+	if err := rep.ReplaySource(trace.NewSliceSource(cmds)); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("scheduled trace failed to replay: %v", err))
+		return
+	}
+	res := rep.Result(rep.Now() + int64(m.BurstSlots()))
+	s.scheduleRequests.Add(stats.Requests)
+	s.scheduleRowHits.Add(stats.RowHits)
+	s.scheduleCommands.Add(stats.Commands)
+	out := ScheduleResponseFor(stats, res, key, opts.Channels, policyStr, ctrl.Mapper().Spec())
+	out.Calibrated = m.Calibrated()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // RoadmapNode is one GET /v1/roadmap entry.

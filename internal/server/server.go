@@ -8,6 +8,7 @@
 //	POST /v1/sweep     descriptor text -> Figure 10 sensitivity rows
 //	POST /v1/schemes   descriptor text -> Section V scheme comparison
 //	POST /v1/trace     trace text      -> replayed energy accounting
+//	POST /v1/schedule  access trace    -> scheduled trace energy + row-buffer stats
 //	GET  /v1/roadmap   the 170 nm -> 16 nm technology roadmap
 //	GET  /metrics      Prometheus text exposition
 //	GET  /healthz      liveness (always 200 while the process runs)
@@ -136,6 +137,13 @@ type Server struct {
 	// calibration overlay (the overlay half of the derive → overlay → seal
 	// pipeline running server-side).
 	calibratedBuilds *metrics.Counter
+
+	// Controller front-end accounting: requests scheduled, the row hits
+	// among them (their ratio is the fleet-wide row-hit rate), and the
+	// commands emitted by /v1/schedule.
+	scheduleRequests *metrics.Counter
+	scheduleRowHits  *metrics.Counter
+	scheduleCommands *metrics.Counter
 }
 
 // New builds a server. The caller owns the returned server's lifecycle:
@@ -164,11 +172,18 @@ func New(opts Options) *Server {
 		"Replayed slots spent in self-refresh (IDD6 residency).")
 	s.calibratedBuilds = s.reg.Counter("dramserved_calibrated_builds_total", "",
 		"Model builds that applied a non-empty calibration overlay.")
+	s.scheduleRequests = s.reg.Counter("dramserved_schedule_requests_total", "",
+		"Access requests scheduled by /v1/schedule.")
+	s.scheduleRowHits = s.reg.Counter("dramserved_schedule_row_hits_total", "",
+		"Scheduled requests that hit an open row.")
+	s.scheduleCommands = s.reg.Counter("dramserved_schedule_commands_total", "",
+		"DRAM commands emitted by /v1/schedule.")
 
 	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))
 	s.mux.Handle("POST /v1/schemes", s.api(s.handleSchemes))
 	s.mux.Handle("POST /v1/trace", s.api(s.handleTrace))
+	s.mux.Handle("POST /v1/schedule", s.api(s.handleSchedule))
 	s.mux.Handle("GET /v1/roadmap", s.observe(http.HandlerFunc(s.handleRoadmap)))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

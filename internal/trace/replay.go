@@ -378,3 +378,26 @@ func Interleave(channels [][]Command, banksPerChannel int) []Command {
 	}
 	return out
 }
+
+// cmdSliceSource adapts an in-memory command slice to the Source
+// interface, so already-materialized traces (e.g. a scheduler's output)
+// replay without a serialize/re-parse round trip.
+type cmdSliceSource struct {
+	cmds []Command
+	i    int
+}
+
+// NewSliceSource returns a Source over an in-memory command slice.
+func NewSliceSource(cmds []Command) Source { return &cmdSliceSource{cmds: cmds} }
+
+func (s *cmdSliceSource) Scan() bool {
+	if s.i >= len(s.cmds) {
+		return false
+	}
+	s.i++
+	return true
+}
+
+func (s *cmdSliceSource) Command() Command { return s.cmds[s.i-1] }
+
+func (s *cmdSliceSource) Err() error { return nil }

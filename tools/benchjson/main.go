@@ -34,9 +34,11 @@
 //
 // compares two snapshots it previously produced and exits non-zero when
 // any benchmark present in both regressed beyond the threshold — ns/op
-// rising or cmds/s falling by more than the given percent. Other metrics
-// are informational (allocation counts move legitimately with algorithm
-// changes; the throughput and latency numbers are the contract).
+// rising, or any per-second throughput metric (a unit ending in "/s":
+// cmds/s, req/s, MB/s, ...) falling, by more than the given percent.
+// Other metrics are informational (allocation counts move legitimately
+// with algorithm changes; the throughput and latency numbers are the
+// contract).
 // Benchmarks present in only one snapshot are reported but never fail
 // the gate, so adding or retiring a benchmark does not break CI.
 package main
@@ -48,6 +50,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -76,7 +79,7 @@ type summary struct {
 func main() {
 	echo := flag.Bool("echo", false, "copy input lines to stderr")
 	compare := flag.String("compare", "", "baseline snapshot JSON; compare the positional snapshot against it and exit 1 on regressions")
-	threshold := flag.Float64("threshold", 10, "with -compare, tolerated regression percent in ns/op (rise) or cmds/s (fall)")
+	threshold := flag.Float64("threshold", 10, "with -compare, tolerated regression percent in ns/op (rise) or any */s throughput metric (fall)")
 	flag.Parse()
 
 	if *compare != "" {
@@ -195,8 +198,10 @@ func baseName(name string) string {
 
 // regressions pairs the two snapshots by (suffix-stripped) benchmark name
 // and applies the gate: a paired benchmark fails when its ns/op rose, or
-// its cmds/s fell, by more than pct percent. It returns the failures and
-// informational notes (unpaired benchmarks), both in new-snapshot order.
+// any of its per-second throughput metrics (unit ending "/s") fell, by
+// more than pct percent. It returns the failures and informational notes
+// (unpaired benchmarks), both in new-snapshot order (throughput metrics
+// sorted by unit within a benchmark, so the report is deterministic).
 func regressions(oldS, newS summary, pct float64) (bad, notes []string) {
 	byName := make(map[string]benchmark, len(oldS.Benchmarks))
 	for _, b := range oldS.Benchmarks {
@@ -218,11 +223,20 @@ func regressions(oldS, newS summary, pct float64) (bad, notes []string) {
 				}
 			}
 		}
-		if oldV, okO := ob.Metrics["cmds/s"]; okO && oldV > 0 {
-			if newV, okN := nb.Metrics["cmds/s"]; okN {
-				if change := 100 * (newV - oldV) / oldV; change < -pct {
-					bad = append(bad, fmt.Sprintf("%s: cmds/s %+.1f%% (%.4g -> %.4g)", name, change, oldV, newV))
-				}
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			if strings.HasSuffix(unit, "/s") {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV, okO := ob.Metrics[unit]
+			if !okO || oldV <= 0 {
+				continue
+			}
+			if change := 100 * (nb.Metrics[unit] - oldV) / oldV; change < -pct {
+				bad = append(bad, fmt.Sprintf("%s: %s %+.1f%% (%.4g -> %.4g)", name, unit, change, oldV, nb.Metrics[unit]))
 			}
 		}
 	}

@@ -89,3 +89,39 @@ func TestRegressionsGate(t *testing.T) {
 		t.Errorf("improvement flagged as regression: %v", bad)
 	}
 }
+
+// TestRegressionsGateAnyThroughputUnit pins the generic gate: every
+// metric whose unit ends in "/s" is a throughput contract, not just
+// cmds/s, and multiple falling units on one benchmark all report (in
+// sorted unit order). Non-throughput extras (B/op) stay informational.
+func TestRegressionsGateAnyThroughputUnit(t *testing.T) {
+	oldS := summary{Benchmarks: []benchmark{
+		bench("BenchmarkSchedule", map[string]float64{"ns/op": 100, "req/s": 2e6, "MB/s": 500, "B/op": 64}),
+	}}
+	newS := summary{Benchmarks: []benchmark{
+		// Both throughput units fall 20%; allocations triple (not gated).
+		bench("BenchmarkSchedule-8", map[string]float64{"ns/op": 100, "req/s": 1.6e6, "MB/s": 400, "B/op": 192}),
+	}}
+	bad, _ := regressions(oldS, newS, 10)
+	if len(bad) != 2 {
+		t.Fatalf("regressions = %v, want 2 entries", bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkSchedule: MB/s -20.0%") {
+		t.Errorf("MB/s regression line %q", bad[0])
+	}
+	if !strings.Contains(bad[1], "BenchmarkSchedule: req/s -20.0%") {
+		t.Errorf("req/s regression line %q", bad[1])
+	}
+
+	// A throughput unit present only in the new snapshot is not gated,
+	// and a zero baseline cannot divide.
+	oldS = summary{Benchmarks: []benchmark{
+		bench("BenchmarkX", map[string]float64{"ns/op": 100, "rows/s": 0}),
+	}}
+	newS = summary{Benchmarks: []benchmark{
+		bench("BenchmarkX", map[string]float64{"ns/op": 100, "rows/s": 1, "req/s": 5}),
+	}}
+	if bad, _ := regressions(oldS, newS, 10); len(bad) != 0 {
+		t.Errorf("unpaired/zero-baseline units gated: %v", bad)
+	}
+}

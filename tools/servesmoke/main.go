@@ -171,6 +171,14 @@ func smoke(client *http.Client, base string) error {
 	if _, err := post("/v1/trace?model="+key, "0 act 2 17\n11 rd 2 17\n28 pre 2 17\n", http.StatusOK); err != nil {
 		return err
 	}
+	sched, err := post("/v1/schedule?model="+key+"&policy=closed&pd_timeout=24",
+		"0 r 0x2400\n200 w 0x93400\n400 r 0x2401\n", http.StatusOK)
+	if err != nil {
+		return err
+	}
+	if stats, ok := sched["schedule"].(map[string]any); !ok || stats["requests"] != float64(3) {
+		return fmt.Errorf("schedule: response stats %v, want 3 requests", sched["schedule"])
+	}
 	if _, err := get("/v1/roadmap", http.StatusOK); err != nil {
 		return err
 	}
