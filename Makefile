@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short lint
+.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short legality lint
 
 all: check
 
@@ -65,7 +65,15 @@ fuzz-short:
 	$(GO) test -fuzz FuzzBinaryScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
 	$(GO) test -fuzz FuzzAccessScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/ctl/
 
+# Retention legality sweep: every page policy × address map × channel
+# count × low-power combination is scheduled and replayed, asserting
+# zero timing violations and zero missed tREFI deadlines. Part of the
+# regular test pass too; this target runs it uncached and on its own so
+# the refresh-scheduler contract has a named gate.
+legality:
+	$(GO) test ./internal/ctl -run 'TestScheduledTraceLegalitySweep|TestRefreshSurvivesPowerDown' -count=1
+
 # The full gate: everything CI (and a reviewer) expects to be green.
 # CI runs the race detector as its own job (ci.yml "race"), so check
 # keeps the fast non-instrumented test pass.
-check: build vet test serve-smoke fuzz-short
+check: build vet test legality serve-smoke fuzz-short

@@ -23,9 +23,15 @@
 // the first byte, like dtb for command traces. -policy selects open,
 // closed or timeout=N page management; -pd-timeout/-sr-after arm the
 // power-down policy (enter precharge power-down / self-refresh once a
-// channel has been idle with all banks closed that many slots). With
-// -gen, a synthetic access stream is written to stdout instead
-// (-rowhit sets the row-locality probability, -gap the arrival spacing).
+// channel has been idle with all banks closed that many slots). Refresh
+// scheduling is on by default whenever the spec carries a refresh
+// interval: an all-bank ref every tREFI per channel, postponed
+// JEDEC-style while requests are in flight; -refresh-every overrides
+// tREFI in slots, -max-postponed the postponement bound (default 8),
+// and -no-refresh disables it (the report then shows the retention
+// deadlines the trace missed). With -gen, a synthetic access stream is
+// written to stdout instead (-rowhit sets the row-locality probability,
+// -gap the arrival spacing).
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 	channels := flag.Int("channels", 1, "number of channels the flat address space spreads over (power of two)")
 	pdTimeout := flag.Int64("pd-timeout", 0, "enter precharge power-down after this many idle all-banks-closed slots (0 = never)")
 	srAfter := flag.Int64("sr-after", 0, "prefer self-refresh for idle gaps at least this long (0 = never)")
+	refreshEvery := flag.Int64("refresh-every", 0, "refresh interval tREFI in slots (0 = resolve from the spec)")
+	maxPostponed := flag.Int("max-postponed", 0, "JEDEC refresh postponement bound (0 = default 8)")
+	noRefresh := flag.Bool("no-refresh", false, "disable refresh scheduling (report the missed retention deadlines instead)")
 	emit := flag.String("emit", "", "emit the scheduled command trace to stdout (text or binary) instead of replaying")
 	var workers int
 	cli.WorkersVar(&workers, "the replay")
@@ -86,6 +95,9 @@ func main() {
 		Channels:         *channels,
 		PowerDownAfter:   *pdTimeout,
 		SelfRefreshAfter: *srAfter,
+		RefreshEvery:     *refreshEvery,
+		MaxPostponed:     *maxPostponed,
+		DisableRefresh:   *noRefresh,
 	}
 	in, name := openInput()
 	start := time.Now()
@@ -156,23 +168,27 @@ func generate(m *drampower.Model, n int, rowhit, readShare float64, gap int64, s
 
 // output is the JSON shape of a scheduling report.
 type output struct {
-	Policy            string                  `json:"policy"`
-	Map               string                  `json:"map"`
-	Channels          int                     `json:"channels"`
-	Schedule          drampower.ScheduleStats `json:"schedule"`
-	RowHitRate        float64                 `json:"row_hit_rate"`
-	Slots             int64                   `json:"slots"`
-	DurationSeconds   float64                 `json:"duration_seconds"`
-	CommandEnergyJ    float64                 `json:"command_energy_j"`
-	BackgroundJ       float64                 `json:"background_energy_j"`
-	TotalJ            float64                 `json:"total_energy_j"`
-	AveragePowerW     float64                 `json:"average_power_w"`
-	EnergyPerBitPJ    float64                 `json:"energy_per_bit_pj"`
-	PowerDownSlots    int64                   `json:"power_down_slots"`
-	SelfRefreshSlots  int64                   `json:"self_refresh_slots"`
-	ScheduleSeconds   float64                 `json:"schedule_seconds"`
-	WallSeconds       float64                 `json:"wall_seconds"`
-	RequestsPerSecond float64                 `json:"requests_per_second"`
+	Policy           string                  `json:"policy"`
+	Map              string                  `json:"map"`
+	Channels         int                     `json:"channels"`
+	Schedule         drampower.ScheduleStats `json:"schedule"`
+	RowHitRate       float64                 `json:"row_hit_rate"`
+	Slots            int64                   `json:"slots"`
+	DurationSeconds  float64                 `json:"duration_seconds"`
+	CommandEnergyJ   float64                 `json:"command_energy_j"`
+	BackgroundJ      float64                 `json:"background_energy_j"`
+	TotalJ           float64                 `json:"total_energy_j"`
+	AveragePowerW    float64                 `json:"average_power_w"`
+	EnergyPerBitPJ   float64                 `json:"energy_per_bit_pj"`
+	PowerDownSlots   int64                   `json:"power_down_slots"`
+	SelfRefreshSlots int64                   `json:"self_refresh_slots"`
+	// Retention audit of the scheduled trace (see TraceResult): zero
+	// missed deadlines for every configuration except -no-refresh.
+	MaxRefreshIntervalSlots int64   `json:"max_refresh_interval_slots"`
+	MissedRefreshDeadlines  int64   `json:"missed_refresh_deadlines"`
+	ScheduleSeconds         float64 `json:"schedule_seconds"`
+	WallSeconds             float64 `json:"wall_seconds"`
+	RequestsPerSecond       float64 `json:"requests_per_second"`
 }
 
 func report(policy string, opts drampower.ControllerOptions, stats drampower.ScheduleStats, res drampower.TraceResult, schedWall, wall time.Duration, format string) {
@@ -181,22 +197,24 @@ func report(policy string, opts drampower.ControllerOptions, stats drampower.Sch
 		mapSpec = drampower.DefaultAddressMap
 	}
 	o := output{
-		Policy:           policy,
-		Map:              mapSpec,
-		Channels:         opts.Channels,
-		Schedule:         stats,
-		RowHitRate:       stats.RowHitRate(),
-		Slots:            res.Slots,
-		DurationSeconds:  float64(res.Duration),
-		CommandEnergyJ:   float64(res.CommandEnergy),
-		BackgroundJ:      float64(res.Background),
-		TotalJ:           float64(res.Total),
-		AveragePowerW:    float64(res.AveragePower),
-		EnergyPerBitPJ:   float64(res.EnergyPerBit) * 1e12,
-		PowerDownSlots:   res.PowerDownSlots,
-		SelfRefreshSlots: res.SelfRefreshSlots,
-		ScheduleSeconds:  schedWall.Seconds(),
-		WallSeconds:      wall.Seconds(),
+		Policy:                  policy,
+		Map:                     mapSpec,
+		Channels:                opts.Channels,
+		Schedule:                stats,
+		RowHitRate:              stats.RowHitRate(),
+		Slots:                   res.Slots,
+		DurationSeconds:         float64(res.Duration),
+		CommandEnergyJ:          float64(res.CommandEnergy),
+		BackgroundJ:             float64(res.Background),
+		TotalJ:                  float64(res.Total),
+		AveragePowerW:           float64(res.AveragePower),
+		EnergyPerBitPJ:          float64(res.EnergyPerBit) * 1e12,
+		PowerDownSlots:          res.PowerDownSlots,
+		SelfRefreshSlots:        res.SelfRefreshSlots,
+		MaxRefreshIntervalSlots: res.MaxRefreshInterval,
+		MissedRefreshDeadlines:  res.MissedRefreshDeadlines,
+		ScheduleSeconds:         schedWall.Seconds(),
+		WallSeconds:             wall.Seconds(),
 	}
 	if s := schedWall.Seconds(); s > 0 {
 		o.RequestsPerSecond = float64(stats.Requests) / s
@@ -219,6 +237,13 @@ func report(policy string, opts drampower.ControllerOptions, stats drampower.Sch
 	if stats.PowerDowns+stats.SelfRefreshes > 0 {
 		fmt.Printf("  low power:       %d power-down, %d self-refresh entries (%d + %d slots resident)\n",
 			stats.PowerDowns, stats.SelfRefreshes, o.PowerDownSlots, o.SelfRefreshSlots)
+	}
+	if stats.Refreshes > 0 {
+		fmt.Printf("  refresh:         %d issued (%d postponed, %d forced), max interval %d slots\n",
+			stats.Refreshes, stats.PostponedRefreshes, stats.ForcedRefreshes, o.MaxRefreshIntervalSlots)
+	}
+	if o.MissedRefreshDeadlines > 0 {
+		fmt.Printf("  retention:       %d missed tREFI deadlines\n", o.MissedRefreshDeadlines)
 	}
 	fmt.Printf("  trace:           %d slots (%.3f ms simulated)\n", o.Slots, o.DurationSeconds*1e3)
 	fmt.Printf("  command energy:  %.4g J\n", o.CommandEnergyJ)

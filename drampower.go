@@ -88,6 +88,13 @@ const (
 // commands Op.String does not know (use it for TraceResult.Counts keys).
 func TraceOpName(op Op) string { return trace.OpName(op) }
 
+// MaxPostponedRefreshes is the JEDEC refresh postponement bound: up to
+// this many consecutive tREFI obligations may slide past their nominal
+// due slot before the controller must catch up. The replayer's retention
+// audit (TraceResult.MissedRefreshDeadlines) and the controller's
+// refresh scheduler both use it as the default.
+const MaxPostponedRefreshes = trace.MaxPostponedRefreshes
+
 // Re-exported engine types.
 type (
 	// Model is a resolved DRAM ready for power evaluation.
@@ -435,7 +442,11 @@ type (
 	// Controller schedules one access stream into a command trace.
 	Controller = ctl.Controller
 	// ControllerOptions selects the page policy, address map, channel
-	// count and power-down policy of a scheduling run.
+	// count, power-down policy and refresh policy of a scheduling run.
+	// Refresh scheduling is on by default when the device spec carries a
+	// refresh interval: an all-bank ref every tREFI per channel,
+	// postponed JEDEC-style (up to MaxPostponedRefreshes) while requests
+	// are in flight.
 	ControllerOptions = ctl.Options
 	// ControllerPolicy is the page-management policy (open, closed or
 	// timeout).

@@ -8,6 +8,14 @@
 // ACT+RD/WR+PRE, but the rank returns to all-banks-closed and the idle
 // gaps drop into precharge power-down (IDD2P). The timeout policy sits
 // between the two. The sweep makes the crossover visible in one table.
+//
+// A second table isolates the refresh overhead per policy: the same
+// stream scheduled with the tREFI refresh scheduler on (the default)
+// versus off, with the replayer's retention audit confirming that the
+// refresh-free trace misses deadlines the scheduled one meets. Refresh
+// costs open-page more than its energy bill suggests — every all-bank
+// ref precharges the open rows first, turning would-be row hits into
+// conflicts.
 package main
 
 import (
@@ -78,4 +86,49 @@ func main() {
 	fmt.Println("\n(each cell: total energy, row-hit rate achieved)")
 	fmt.Println("closed-page wins at low locality: the rank parks in power-down between requests.")
 	fmt.Println("open-page wins at high locality: row hits skip the ACT+PRE pair entirely.")
+
+	// Refresh overhead per policy: same stream, scheduler's tREFI refresh
+	// on (default) vs off, at moderate locality.
+	reqs, err := drampower.GenerateAccesses(m, drampower.AccessGenOptions{
+		N: requests, RowHit: 0.5, ReadShare: 0.7, Gap: gap, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefresh overhead at 50%% locality (tREFI scheduler on vs off)\n\n")
+	fmt.Printf("%12s  %10s  %10s  %9s  %5s  %7s\n",
+		"policy", "with ref", "no ref", "overhead", "refs", "missed")
+	for _, p := range policies {
+		policy, window, err := drampower.ParseControllerPolicy(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var totals [2]float64
+		var refs, missed int64
+		for i, disable := range []bool{false, true} {
+			cmds, stats, err := drampower.ScheduleAccesses(m, reqs, drampower.ControllerOptions{
+				Policy:         policy,
+				PageTimeout:    window,
+				PowerDownAfter: pdAfter,
+				DisableRefresh: disable,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", p, err)
+			}
+			res, err := drampower.RunTrace(m, cmds)
+			if err != nil {
+				log.Fatalf("%s: %v", p, err)
+			}
+			totals[i] = float64(res.Total)
+			if !disable {
+				refs = stats.Refreshes
+			} else {
+				missed = res.MissedRefreshDeadlines
+			}
+		}
+		fmt.Printf("%12s  %8.2fuJ  %8.2fuJ  %8.2f%%  %5d  %7d\n",
+			p, totals[0]*1e6, totals[1]*1e6, 100*(totals[0]-totals[1])/totals[1], refs, missed)
+	}
+	fmt.Println("\n(refs: all-bank refreshes scheduled; missed: tREFI deadlines the")
+	fmt.Println("refresh-free trace blows past — data loss, not a config choice.)")
 }

@@ -210,10 +210,13 @@ func parseUint(b []byte, i int) (int64, int, bool) {
 	start := j
 	var v int64
 	for j < len(b) && b[j] >= '0' && b[j] <= '9' {
-		v = v*10 + int64(b[j]-'0')
-		if v < 0 {
+		// Bound before the multiply: v*10 can wrap past negative back
+		// into the positive range, so a post-hoc v < 0 check is not
+		// enough.
+		if v > ((1<<63-1)-9)/10 {
 			return 0, j, false // overflow
 		}
+		v = v*10 + int64(b[j]-'0')
 		j++
 	}
 	if j == start {
@@ -247,8 +250,8 @@ func parseAddr(b []byte, i int) (int64, int, bool) {
 				}
 				return v, j, true
 			}
-			if v > (1<<62)/8 {
-				return 0, j, false // overflow
+			if v >= 1<<59 {
+				return 0, j, false // v<<4 would overflow int64
 			}
 			v = v<<4 | d
 			j++

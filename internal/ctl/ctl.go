@@ -7,18 +7,24 @@ package ctl
 // The controller is deliberately simple — in-order, one request at a
 // time, one command per slot per channel — because the paper's question
 // is not "how fast can a controller go" but "how much energy does a
-// policy cost". Three decisions shape the answer and all three are
+// policy cost". Four decisions shape the answer and all four are
 // options here: the address map (mapper.go) fixes which requests share a
 // row, the page policy decides when rows close (open until conflict,
-// closed after every access, or closed after an idle timeout), and the
+// closed after every access, or closed after an idle timeout), the
 // power-down policy decides whether idle gaps are spent in precharged
-// standby, precharge power-down or self-refresh.
+// standby, precharge power-down or self-refresh, and the refresh
+// scheduler keeps every channel retention-clean: an all-bank ref every
+// tREFI, postponed JEDEC-style (up to Options.MaxPostponed) while
+// requests are in flight, forced in a catch-up burst before a deadline
+// can pass, and suppressed inside self-refresh windows, which cover
+// retention on their own.
 //
 // Scheduling is deterministic by construction: no maps are iterated, no
 // randomness or wall-clock time is read, and every placement is the
 // arithmetic earliest legal slot given prior placements. Same input,
 // same options -> byte-identical trace. See DESIGN §12 for the legality
-// argument (each emit mirrors one Simulator check).
+// argument (each emit mirrors one Simulator check) and §13 for the
+// refresh scheduler's determinism and retention argument.
 
 import (
 	"fmt"
@@ -109,6 +115,24 @@ type Options struct {
 	// PowerDownAfter to ever win; the exit pays tXS instead of tXP).
 	// Zero disables.
 	SelfRefreshAfter int64
+
+	// RefreshEvery overrides the refresh interval (tREFI) in slots. Zero
+	// resolves it from the spec's RefreshInterval; refresh scheduling is
+	// off when neither is available. It must exceed the spec's tRFC — a
+	// device that spends its whole interval refreshing can never meet
+	// retention.
+	RefreshEvery int64
+
+	// MaxPostponed bounds JEDEC-style refresh postponement: the k-th
+	// refresh obligation (due at k*tREFI) may slip to (k+MaxPostponed)*
+	// tREFI before the scheduler forces a catch-up burst. Zero means the
+	// JEDEC default of 8 (trace.MaxPostponedRefreshes).
+	MaxPostponed int
+
+	// DisableRefresh turns refresh scheduling off entirely — the
+	// pre-refresh controller behavior, kept for A/B comparisons. The
+	// replay auditor will report the missed deadlines.
+	DisableRefresh bool
 }
 
 // Stats summarizes one scheduling run.
@@ -132,6 +156,15 @@ type Stats struct {
 	// pairs.
 	PowerDowns    int64 `json:"power_downs,omitempty"`
 	SelfRefreshes int64 `json:"self_refreshes,omitempty"`
+
+	// Refreshes counts all-bank ref commands issued. PostponedRefreshes
+	// counts those that landed after their nominal due slot (k*tREFI);
+	// ForcedRefreshes those issued under deadline pressure — the catch-up
+	// bursts, power-down segmentation boundaries and the end-of-trace
+	// debt retirement — rather than opportunistically in an idle gap.
+	Refreshes          int64 `json:"refreshes,omitempty"`
+	PostponedRefreshes int64 `json:"postponed_refreshes,omitempty"`
+	ForcedRefreshes    int64 `json:"forced_refreshes,omitempty"`
 
 	// Slots is the slot of the last scheduled command (zero for an empty
 	// trace).
@@ -168,11 +201,12 @@ const farPast = math.MinInt64 / 2
 
 // bankMirror tracks one bank's scheduler-visible state.
 type bankMirror struct {
-	open    bool
-	row     int
-	actSlot int64 // last activate
-	preSlot int64 // last precharge
-	lastUse int64 // last column access (timeout policy clock)
+	open     bool
+	row      int
+	actSlot  int64 // last activate
+	preSlot  int64 // last precharge
+	lastUse  int64 // last column access (timeout policy clock)
+	burstEnd int64 // this bank's burst drains at this slot (gates PRE)
 }
 
 // chanState mirrors the per-channel timing state the Simulator enforces,
@@ -187,6 +221,15 @@ type chanState struct {
 	actRing   [4]int64 // last four activates, for tFAW
 	actCount  int64
 	openBanks int
+
+	// Refresh scheduler state. Obligation k of the current epoch is due
+	// at refBase + k*tREFI and must complete by refBase + (k+maxPost)*
+	// tREFI; refCredit counts obligations already served. A self-refresh
+	// exit restarts the epoch (refBase moves, refCredit resets), exactly
+	// mirroring the replay auditor.
+	refUntil  int64 // previous refresh completes (tRFC) at this slot
+	refBase   int64 // epoch origin: 0, or the last srx slot
+	refCredit int64 // refreshes issued since refBase
 }
 
 // Controller schedules one access stream. It is single-use: build with
@@ -200,6 +243,9 @@ type Controller struct {
 	// mirror can never drift from what replay enforces
 	tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64
 	tCKE, tXP, tXS                          int64
+	tRFC                                    int64
+	tREFI                                   int64 // resolved refresh interval (0 = refresh off)
+	maxPost                                 int64 // postponement bound (obligations)
 
 	stats Stats
 }
@@ -224,10 +270,30 @@ func NewController(m *core.Model, opts Options) (*Controller, error) {
 	if opts.PowerDownAfter < 0 || opts.SelfRefreshAfter < 0 {
 		return nil, fmt.Errorf("ctl: negative power-down/self-refresh threshold")
 	}
+	if opts.RefreshEvery < 0 {
+		return nil, fmt.Errorf("ctl: negative RefreshEvery")
+	}
+	if opts.MaxPostponed < 0 {
+		return nil, fmt.Errorf("ctl: negative MaxPostponed")
+	}
 	c := &Controller{opts: opts, mapper: mapper}
 	sim := trace.New(m)
 	c.tRC, c.tRCD, c.tRP, c.tRAS, c.tRRD, c.tFAW, c.burst = sim.TimingSlots()
 	c.tCKE, c.tXP, c.tXS = sim.PowerStateSlots()
+	c.tRFC = sim.RefreshCycleSlots()
+	if !opts.DisableRefresh {
+		c.tREFI = opts.RefreshEvery
+		if c.tREFI == 0 {
+			c.tREFI = sim.RefreshIntervalSlots()
+		}
+	}
+	if c.tREFI > 0 && c.tREFI <= c.tRFC {
+		return nil, fmt.Errorf("ctl: refresh interval %d slots must exceed tRFC (%d slots)", c.tREFI, c.tRFC)
+	}
+	c.maxPost = int64(opts.MaxPostponed)
+	if c.maxPost == 0 {
+		c.maxPost = trace.MaxPostponedRefreshes
+	}
 	banks := m.D.Spec.Banks()
 	c.chans = make([]chanState, opts.Channels)
 	for i := range c.chans {
@@ -237,13 +303,19 @@ func NewController(m *core.Model, opts Options) (*Controller, error) {
 			ch.banks[b].actSlot = farPast
 			ch.banks[b].preSlot = farPast
 			ch.banks[b].lastUse = farPast
+			ch.banks[b].burstEnd = farPast
 		}
 		ch.now = -1
 		ch.busUntil = farPast
 		ch.exitValid = farPast
+		ch.refUntil = farPast
 	}
 	return c, nil
 }
+
+// RefreshIntervalSlots returns the resolved tREFI in slots (0 when
+// refresh scheduling is off).
+func (c *Controller) RefreshIntervalSlots() int64 { return c.tREFI }
 
 // BanksPerChannel returns the per-channel bank count (for
 // trace.ReplayOptions and global-bank interpretation).
@@ -256,6 +328,13 @@ func (c *Controller) Mapper() *Mapper { return c.mapper }
 
 func maxI64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b
@@ -275,11 +354,12 @@ func (c *Controller) emit(ch *chanState, want int64, op desc.Op, bank, row int) 
 
 // earliestAct mirrors the Simulator's activate checks: tRC and tRP on
 // the bank, tRRD against the previous activate, tFAW against the
-// fourth-last, and the low-power exit window.
+// fourth-last, the refresh cycle and the low-power exit window.
 func (c *Controller) earliestAct(ch *chanState, b *bankMirror, t int64) int64 {
 	at := maxI64(t, b.actSlot+c.tRC)
 	at = maxI64(at, b.preSlot+c.tRP)
 	at = maxI64(at, ch.exitValid)
+	at = maxI64(at, ch.refUntil)
 	if ch.actCount > 0 {
 		at = maxI64(at, ch.actRing[(ch.actCount-1)&3]+c.tRRD)
 	}
@@ -301,10 +381,12 @@ func (c *Controller) activate(ch *chanState, bi int, row int, t int64) int64 {
 	return slot
 }
 
-// precharge emits PRE on bank b no earlier than tRAS allows.
+// precharge emits PRE on bank b no earlier than tRAS allows and never
+// inside the bank's own draining burst.
 func (c *Controller) precharge(ch *chanState, bi int, want int64) int64 {
 	b := &ch.banks[bi]
 	want = maxI64(want, b.actSlot+c.tRAS)
+	want = maxI64(want, b.burstEnd)
 	want = maxI64(want, ch.exitValid)
 	slot := c.emit(ch, want, desc.OpPrecharge, bi, 0)
 	b.open = false
@@ -326,6 +408,7 @@ func (c *Controller) column(ch *chanState, bi int, write bool, want int64) int64
 	}
 	slot := c.emit(ch, want, op, bi, b.row)
 	ch.busUntil = slot + c.burst
+	b.burstEnd = slot + c.burst
 	b.lastUse = slot
 	return slot
 }
@@ -359,41 +442,156 @@ func (c *Controller) sweepTimeouts(ch *chanState, t int64) {
 	}
 }
 
-// insertLowPower drops the channel into self-refresh or power-down
-// across the idle gap ending at the next request's first command slot
-// (start). The insertion is self-contained — entry and exit are emitted
-// together, sized so the pending command at start stays legal — and only
-// happens when all banks are closed, which is what couples page policy
-// to idle energy: an open-page controller holding a row open cannot
-// power down.
-func (c *Controller) insertLowPower(ch *chanState, start int64) {
+// quietSlot is the first slot the channel is fully quiet: past the last
+// command, the draining burst, any low-power exit window and any
+// refresh still in progress.
+func (c *Controller) quietSlot(ch *chanState) int64 {
+	q := maxI64(ch.now, ch.busUntil)
+	q = maxI64(q, ch.exitValid)
+	q = maxI64(q, ch.refUntil)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// refDue is the nominal due slot of refresh obligation k (1-based) in
+// the current epoch; refDeadline is the latest slot it may complete
+// after JEDEC postponement.
+func (c *Controller) refDue(ch *chanState, k int64) int64 {
+	return ch.refBase + k*c.tREFI
+}
+
+func (c *Controller) refDeadline(ch *chanState, k int64) int64 {
+	return ch.refBase + (k+c.maxPost)*c.tREFI
+}
+
+// issueRef emits one all-bank refresh at the earliest legal slot at or
+// after want: open rows are precharged first (fixed bank-index order, so
+// placement is deterministic), then the refresh waits out tRP on those
+// precharges, the previous refresh's tRFC and any low-power exit window.
+// The tRP wait is stricter than the Simulator (which only demands all
+// banks closed) — the real device cannot refresh a row mid-precharge.
+// Callers pass the obligation's due slot as want, so credit never runs
+// ahead of the epoch clock.
+func (c *Controller) issueRef(ch *chanState, want int64) int64 {
 	if ch.openBanks > 0 {
-		return
+		pre := int64(farPast)
+		for bi := range ch.banks {
+			if ch.banks[bi].open {
+				pre = maxI64(pre, c.precharge(ch, bi, 0))
+			}
+		}
+		want = maxI64(want, pre+c.tRP)
 	}
-	if c.opts.PowerDownAfter <= 0 && c.opts.SelfRefreshAfter <= 0 {
-		return
+	want = maxI64(want, ch.refUntil)
+	want = maxI64(want, ch.exitValid)
+	slot := c.emit(ch, want, desc.OpRefresh, 0, 0)
+	ch.refUntil = slot + c.tRFC
+	ch.refCredit++
+	c.stats.Refreshes++
+	if slot > c.refDue(ch, ch.refCredit) {
+		c.stats.PostponedRefreshes++
 	}
-	// The channel is quiet once the last command issued, the last burst
-	// drained and any prior low-power exit completed.
-	quiet := maxI64(ch.now, ch.busUntil)
-	quiet = maxI64(quiet, ch.exitValid)
-	if quiet < 0 {
-		quiet = 0
+	return slot
+}
+
+// forceRefresh catches up on obligations that can no longer wait: any
+// whose postponement deadline falls within one interval of the
+// channel's near future is served before the request (a catch-up burst
+// when several are overdue). The horizon uses the channel clock, not
+// the arrival slot — a backlogged channel emits commands far past
+// arrival times, and deadlines bind in trace time.
+func (c *Controller) forceRefresh(ch *chanState, t int64) {
+	for c.refDeadline(ch, ch.refCredit+1) <= maxI64(t, ch.now)+c.tREFI {
+		c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
+		c.stats.ForcedRefreshes++
 	}
-	// Prefer self-refresh for long gaps: deeper state, slower exit.
-	if sra := c.opts.SelfRefreshAfter; sra > 0 {
-		enter := maxI64(quiet+sra, ch.now+1)
-		exit := start - c.tXS
-		if exit >= enter+c.tCKE {
+}
+
+// fillGap schedules the idle gap ending at the next request's first
+// command slot (start): the refreshes that belong inside it, and
+// self-refresh or power-down windows around them. Low-power insertion
+// is self-contained — entry and exit are emitted together, sized so the
+// pending command at start stays legal — and only happens when all
+// banks were closed at gap entry, which is what couples page policy to
+// idle energy: an open-page controller holding a row open cannot power
+// down (a refresh's precharge-all mid-gap does not retroactively grant
+// the window; the open row was the policy's choice). Refreshes are not
+// so gated: under the open policy they force the rows closed, which is
+// the open page's refresh tax.
+func (c *Controller) fillGap(ch *chanState, start int64) {
+	lowPower := ch.openBanks == 0 &&
+		(c.opts.PowerDownAfter > 0 || c.opts.SelfRefreshAfter > 0)
+
+	// Prefer self-refresh for long gaps: deeper state, slower exit, and
+	// retention is covered internally — the refresh epoch restarts at
+	// the exit. Obligations whose deadline precedes the entry must still
+	// issue first.
+	if lowPower && c.opts.SelfRefreshAfter > 0 {
+		for {
+			enter := maxI64(c.quietSlot(ch)+c.opts.SelfRefreshAfter, ch.now+1)
+			exit := start - c.tXS
+			if exit < enter+c.tCKE {
+				break // no room for self-refresh; try power-down below
+			}
+			if c.tREFI > 0 && c.refDeadline(ch, ch.refCredit+1) < enter {
+				c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
+				c.stats.ForcedRefreshes++
+				continue
+			}
 			c.emit(ch, enter, trace.OpSelfRefreshEnter, 0, 0)
 			c.emit(ch, exit, trace.OpSelfRefreshExit, 0, 0)
 			ch.exitValid = exit + c.tXS
 			c.stats.SelfRefreshes++
+			if c.tREFI > 0 {
+				ch.refBase = exit
+				ch.refCredit = 0
+			}
 			return
 		}
 	}
-	if pda := c.opts.PowerDownAfter; pda > 0 {
-		enter := maxI64(quiet+pda, ch.now+1)
+
+	// Refreshes that belong to this gap, with power-down windows
+	// segmented between them: a window never spans a refresh — it ends
+	// tXP before the ref lands, so the ref is legal the slot the exit
+	// window closes. An obligation is served in this gap when it can
+	// complete before the request's first command (at its due slot, not
+	// postponed: the refresh costs the same now or later, and serving it
+	// now keeps the observed interval at tREFI) or when its postponement
+	// deadline falls inside the gap (then it issues even if the request
+	// slips by tRFC). Anything else is postponed to a later gap or to
+	// forceRefresh's catch-up burst.
+	for c.tREFI > 0 {
+		k := ch.refCredit + 1
+		due, deadline := c.refDue(ch, k), c.refDeadline(ch, k)
+		quiet := c.quietSlot(ch)
+		refAt := maxI64(due, quiet) // where issueRef would land it
+		fits := refAt+c.tRFC <= start
+		must := deadline <= start
+		if !fits && !must {
+			break // next obligation is a later gap's (or catch-up's) problem
+		}
+		if lowPower && c.opts.PowerDownAfter > 0 {
+			enter := maxI64(quiet+c.opts.PowerDownAfter, ch.now+1)
+			exit := refAt - c.tXP
+			if exit >= enter+c.tCKE {
+				c.emit(ch, enter, trace.OpPowerDownEnter, 0, 0)
+				c.emit(ch, exit, trace.OpPowerDownExit, 0, 0)
+				ch.exitValid = exit + c.tXP
+				c.stats.PowerDowns++
+			}
+		}
+		c.issueRef(ch, due)
+		if must && !fits {
+			c.stats.ForcedRefreshes++ // deadline inside the gap: issue even if it delays the request
+		}
+	}
+
+	// A power-down window over whatever remains of the gap (or all of it
+	// when no refresh came due).
+	if lowPower && c.opts.PowerDownAfter > 0 {
+		enter := maxI64(c.quietSlot(ch)+c.opts.PowerDownAfter, ch.now+1)
 		exit := start - c.tXP
 		if exit >= enter+c.tCKE {
 			c.emit(ch, enter, trace.OpPowerDownEnter, 0, 0)
@@ -417,6 +615,7 @@ func (c *Controller) firstCommandSlot(ch *chanState, bi int, row int, t int64) i
 		return maxI64(want, ch.now+1)
 	case b.open: // conflict: PRE first
 		want := maxI64(t, b.actSlot+c.tRAS)
+		want = maxI64(want, b.burstEnd)
 		want = maxI64(want, ch.exitValid)
 		return maxI64(want, ch.now+1)
 	default: // miss: ACT first
@@ -428,7 +627,10 @@ func (c *Controller) firstCommandSlot(ch *chanState, bi int, row int, t int64) i
 func (c *Controller) request(ch *chanState, co Coord, write bool, t int64) {
 	bi := co.Bank
 	c.sweepTimeouts(ch, t)
-	c.insertLowPower(ch, c.firstCommandSlot(ch, bi, co.Row, t))
+	if c.tREFI > 0 {
+		c.forceRefresh(ch, t)
+	}
+	c.fillGap(ch, c.firstCommandSlot(ch, bi, co.Row, t))
 	b := &ch.banks[bi]
 	switch {
 	case b.open && b.row == co.Row:
@@ -475,6 +677,34 @@ func (c *Controller) Schedule(src Source) ([]trace.Command, Stats, error) {
 	}
 	if err := src.Err(); err != nil {
 		return nil, c.stats, err
+	}
+	// Retire the refresh debt: every channel owes one refresh per tREFI
+	// elapsed up to the trace's global end — an idle channel is still a
+	// powered channel whose cells leak, and postponed obligations don't
+	// vanish at trace end; a trace spanning T slots pays its steady-state
+	// floor(T/tREFI) refreshes, which is exactly the paper's IDD5-over-
+	// tREFI refresh energy term. Serving the debt can itself extend the
+	// end, so iterate to a fixed point (each round's new debt shrinks by
+	// tRFC/tREFI, which NewController guarantees is < 1).
+	if c.tREFI > 0 {
+		for {
+			end := int64(0)
+			for i := range c.chans {
+				end = maxI64(end, c.chans[i].now)
+			}
+			progress := false
+			for i := range c.chans {
+				ch := &c.chans[i]
+				for c.refDue(ch, ch.refCredit+1) <= end {
+					c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
+					c.stats.ForcedRefreshes++
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
 	}
 	perChan := make([][]trace.Command, len(c.chans))
 	for i := range c.chans {

@@ -690,23 +690,35 @@ type ScheduleResponse struct {
 	Map        string    `json:"map"`
 	Schedule   ctl.Stats `json:"schedule"`
 	RowHitRate float64   `json:"row_hit_rate"`
+	// Retention audit of the scheduled trace (the replay engine's
+	// auditor): the widest observed refresh-to-refresh gap in slots, and
+	// the count of tREFI obligations that slipped past their JEDEC
+	// postponement deadline — zero for every scheduler configuration
+	// except refresh=off.
+	MaxRefreshIntervalSlots int64 `json:"max_refresh_interval_slots"`
+	MissedRefreshDeadlines  int64 `json:"missed_refresh_deadlines"`
 }
 
 // ScheduleResponseFor assembles the /v1/schedule response (shared with
 // the bit-identity tests, like TraceResponseFor).
 func ScheduleResponseFor(stats ctl.Stats, res trace.Result, key string, channels int, policy, mapSpec string) ScheduleResponse {
 	return ScheduleResponse{
-		TraceResponse: TraceResponseFor(res, key, channels),
-		Policy:        policy,
-		Map:           mapSpec,
-		Schedule:      stats,
-		RowHitRate:    stats.RowHitRate(),
+		TraceResponse:           TraceResponseFor(res, key, channels),
+		Policy:                  policy,
+		Map:                     mapSpec,
+		Schedule:                stats,
+		RowHitRate:              stats.RowHitRate(),
+		MaxRefreshIntervalSlots: res.MaxRefreshInterval,
+		MissedRefreshDeadlines:  res.MissedRefreshDeadlines,
 	}
 }
 
 // scheduleOptions parses the controller configuration from the query:
 // policy (open, closed or timeout=N; default open), map (interleave
-// spec), channels, pd_timeout and sr_after (idle thresholds in slots).
+// spec), channels, pd_timeout and sr_after (idle thresholds in slots),
+// refresh_every (tREFI override in slots; 0 resolves from the spec),
+// max_postponed (JEDEC postponement bound; 0 means the default of 8)
+// and refresh=off (disable refresh scheduling for A/B comparisons).
 // The canonical policy spelling is returned for the response. The bool
 // result reports success; on failure the response has been written.
 func scheduleOptions(w http.ResponseWriter, q map[string][]string) (ctl.Options, string, bool) {
@@ -748,6 +760,33 @@ func scheduleOptions(w http.ResponseWriter, q map[string][]string) (ctl.Options,
 			}
 			*p.dst = n
 		}
+	}
+	if v := get("refresh_every"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad refresh_every %q (want tREFI in slots, >= 0)", v))
+			return ctl.Options{}, "", false
+		}
+		opts.RefreshEvery = n
+	}
+	if v := get("max_postponed"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad max_postponed %q (want refresh postponement bound, >= 0)", v))
+			return ctl.Options{}, "", false
+		}
+		opts.MaxPostponed = n
+	}
+	switch v := get("refresh"); v {
+	case "", "on":
+	case "off":
+		opts.DisableRefresh = true
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad refresh %q (want on or off)", v))
+		return ctl.Options{}, "", false
 	}
 	if policy == ctl.PolicyTimeout {
 		policyStr = fmt.Sprintf("timeout=%d", pageTimeout)
@@ -804,6 +843,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.scheduleRequests.Add(stats.Requests)
 	s.scheduleRowHits.Add(stats.RowHits)
 	s.scheduleCommands.Add(stats.Commands)
+	s.scheduledRefreshes.Add(stats.Refreshes)
 	out := ScheduleResponseFor(stats, res, key, opts.Channels, policyStr, ctrl.Mapper().Spec())
 	out.Calibrated = m.Calibrated()
 	writeJSON(w, http.StatusOK, out)

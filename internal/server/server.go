@@ -144,6 +144,9 @@ type Server struct {
 	scheduleRequests *metrics.Counter
 	scheduleRowHits  *metrics.Counter
 	scheduleCommands *metrics.Counter
+	// scheduledRefreshes counts the all-bank ref commands the refresh
+	// scheduler emitted into /v1/schedule traces.
+	scheduledRefreshes *metrics.Counter
 }
 
 // New builds a server. The caller owns the returned server's lifecycle:
@@ -178,6 +181,8 @@ func New(opts Options) *Server {
 		"Scheduled requests that hit an open row.")
 	s.scheduleCommands = s.reg.Counter("dramserved_schedule_commands_total", "",
 		"DRAM commands emitted by /v1/schedule.")
+	s.scheduledRefreshes = s.reg.Counter("dramserved_scheduled_refreshes_total", "",
+		"All-bank refresh commands scheduled by /v1/schedule.")
 
 	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))

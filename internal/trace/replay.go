@@ -313,6 +313,13 @@ func (r *Replayer) Result(endSlot int64) Result {
 		merged.PrechargedBackground += cr.PrechargedBackground
 		merged.PowerDownBackground += cr.PowerDownBackground
 		merged.SelfRefreshBackground += cr.SelfRefreshBackground
+		// Retention audit: refresh counts and misses sum across channels;
+		// the widest per-channel gap is the trace's worst case.
+		merged.Refreshes += cr.Refreshes
+		merged.MissedRefreshDeadlines += cr.MissedRefreshDeadlines
+		if cr.MaxRefreshInterval > merged.MaxRefreshInterval {
+			merged.MaxRefreshInterval = cr.MaxRefreshInterval
+		}
 		for op, n := range cr.Counts {
 			if merged.Counts == nil {
 				merged.Counts = make(map[desc.Op]int64, numTraceOps)

@@ -211,10 +211,13 @@ func parseInt(b []byte, i int) (int64, int, bool) {
 	start := j
 	var v int64
 	for j < len(b) && b[j] >= '0' && b[j] <= '9' {
-		v = v*10 + int64(b[j]-'0')
-		if v < 0 {
+		// Bound before the multiply: v*10 can wrap past negative back
+		// into the positive range, so a post-hoc v < 0 check is not
+		// enough.
+		if v > ((1<<63-1)-9)/10 {
 			return 0, j, false // overflow
 		}
+		v = v*10 + int64(b[j]-'0')
 		j++
 	}
 	if j == start {

@@ -57,6 +57,14 @@ type bankState struct {
 // most recent activate, the tFAW check the 4th-most-recent.
 const ringSize = 8
 
+// MaxPostponedRefreshes is the JEDEC all-bank refresh postponement bound:
+// a controller may defer up to 8 refresh commands while traffic is in
+// flight, so the k-th refresh obligation (nominally due at k*tREFI) must
+// complete by (k+8)*tREFI. The retention auditor flags refreshes that
+// land past that deadline, and the controller in internal/ctl uses it as
+// the default for Options.MaxPostponed.
+const MaxPostponedRefreshes = 8
+
 // Simulator executes a command trace against a model, enforcing timing and
 // accumulating energy. The Issue hot path is allocation-free: per-op
 // counters and energies live in fixed [numTraceOps] arrays, the per-state
@@ -73,13 +81,27 @@ type Simulator struct {
 	// valid command.
 	tCKE, tXP, tXS int64
 
-	banks    []bankState
-	actRing  [ringSize]int64 // last ringSize activate slots (circular)
-	actPos   int             // next write position in actRing
-	actCount int64           // total activates issued
-	busUntil int64           // first slot the data bus is free again
-	refUntil int64           // refresh completion
-	now      int64
+	banks     []bankState
+	actRing   [ringSize]int64 // last ringSize activate slots (circular)
+	actPos    int             // next write position in actRing
+	actCount  int64           // total activates issued
+	busUntil  int64           // first slot the data bus is free again
+	burstBank int             // bank whose burst occupies the bus (-1 none)
+	refUntil  int64           // refresh completion
+	now       int64
+
+	// Retention auditor: refresh coverage against the spec's tREFI. The
+	// audit is report-only — it never rejects a command — so traces that
+	// predate refresh scheduling replay with identical energy totals and
+	// merely report their missed deadlines in Result. refi == 0 (no
+	// RefreshInterval in the spec) disables the audit entirely.
+	refi        int64 // tREFI in slots (0 = auditing off)
+	refBaseSlot int64 // epoch origin: 0, or the slot of the last srx
+	refCredit   int64 // refreshes issued since refBaseSlot
+	refCount    int64 // refreshes issued over the whole trace
+	lastRefSlot int64 // slot of the last refresh (or epoch origin)
+	maxRefGap   int64 // widest observed refresh-to-refresh gap
+	refMissed   int64 // obligations served or abandoned past their deadline
 
 	// Power-state machine: the current background state, when it began,
 	// and the per-state slot residency accumulated at every transition.
@@ -129,6 +151,14 @@ func New(m *core.Model) *Simulator {
 		tRFC:       maxI64(1, toSlots(spec.RefreshCycle)),
 		burstSlots: int64(m.BurstSlots()),
 		banks:      make([]bankState, spec.Banks()),
+		burstBank:  -1,
+	}
+	// tREFI for the retention auditor. A spec without a refresh interval
+	// leaves refi at 0 and the audit off; the epoch starts at slot 0 with
+	// the array assumed freshly refreshed (lastRefSlot 0).
+	s.refi = toSlots(spec.RefreshInterval)
+	if s.refi < 0 {
+		s.refi = 0
 	}
 	// Power-state timings, derived from the row timings the description
 	// already carries (the input language has no tCKE/tXP/tXS fields).
@@ -203,7 +233,9 @@ func (s *Simulator) Now() int64 { return s.now }
 //   - OpRead and OpWrite are rejected ("data bus busy"),
 //   - OpActivate, OpPrecharge, OpRefresh and OpNop issue normally — they
 //     travel on the command/address bus, which the model treats as
-//     uncontended, and never touch the data bus.
+//     uncontended, and never touch the data bus. The one exception is a
+//     precharge aimed at the bank whose own burst is still draining: that
+//     would cut the burst short, so it is rejected until busUntil.
 //
 // These semantics are pinned by TestIssueAtContendedBusSlot. The accept
 // path performs no heap allocations; only a rejection allocates (for its
@@ -278,6 +310,7 @@ func (s *Simulator) Issue(c Command) error {
 			return &TimingError{c, fmt.Sprintf("data bus busy until slot %d", s.busUntil)}
 		}
 		s.busUntil = c.Slot + s.burstSlots
+		s.burstBank = c.Bank
 		s.bits += int64(s.m.BitsPerBurst())
 	case desc.OpPrecharge:
 		if err := s.checkPowerState(c); err != nil {
@@ -288,6 +321,12 @@ func (s *Simulator) Issue(c Command) error {
 		}
 		if c.Slot < b.actSlot+s.tRAS {
 			return &TimingError{c, fmt.Sprintf("tRAS: activate at %d", b.actSlot)}
+		}
+		// A precharge may not cut off its own bank's burst: the read or
+		// write that owns the data bus must drain first. Other banks'
+		// precharges pass — the bus is not theirs.
+		if c.Slot < s.busUntil && c.Bank == s.burstBank {
+			return &TimingError{c, fmt.Sprintf("burst on bank %d drains until slot %d", c.Bank, s.busUntil)}
 		}
 		b.active = false
 		b.preSlot = c.Slot
@@ -308,6 +347,20 @@ func (s *Simulator) Issue(c Command) error {
 			return &TimingError{c, "tRFC: previous refresh in progress"}
 		}
 		s.refUntil = c.Slot + s.tRFC
+		// Retention audit: this refresh serves obligation refCredit+1 of
+		// the current epoch; landing past that obligation's postponement
+		// deadline is a miss. Pure integer bookkeeping — no allocation.
+		if s.refi > 0 {
+			if g := c.Slot - s.lastRefSlot; g > s.maxRefGap {
+				s.maxRefGap = g
+			}
+			if c.Slot > s.refBaseSlot+(s.refCredit+1+MaxPostponedRefreshes)*s.refi {
+				s.refMissed++
+			}
+			s.refCredit++
+			s.refCount++
+			s.lastRefSlot = c.Slot
+		}
 	case OpPowerDownEnter, OpSelfRefreshEnter:
 		if s.state.lowPower() {
 			return &TimingError{c, "already in " + s.state.String() + " state"}
@@ -327,6 +380,18 @@ func (s *Simulator) Issue(c Command) error {
 		st := StatePowerDown
 		if c.Op == OpSelfRefreshEnter {
 			st = StateSelfRefresh
+			// Self-refresh covers retention internally: close the audit
+			// epoch here. Obligations whose deadlines had already passed
+			// unserved are missed; everything not yet due is forgiven.
+			if s.refi > 0 {
+				if g := c.Slot - s.lastRefSlot; g > s.maxRefGap {
+					s.maxRefGap = g
+				}
+				passed := (c.Slot-1-s.refBaseSlot)/s.refi - MaxPostponedRefreshes
+				if m := passed - s.refCredit; m > 0 {
+					s.refMissed += m
+				}
+			}
 		}
 		s.setState(st, c.Slot)
 		s.lpEnter = c.Slot
@@ -348,6 +413,13 @@ func (s *Simulator) Issue(c Command) error {
 		}
 		s.setState(StatePrecharged, c.Slot)
 		s.exitValid, s.exitRule = c.Slot+s.tXS, "tXS"
+		// Leaving self-refresh starts a fresh retention epoch: the array
+		// was refreshed throughout, so the clock restarts here.
+		if s.refi > 0 {
+			s.refBaseSlot = c.Slot
+			s.refCredit = 0
+			s.lastRefSlot = c.Slot
+		}
 	case desc.OpNop:
 		// nothing: legal in every state (DESELECT keeps CKE unchanged)
 	default:
@@ -432,6 +504,17 @@ type Result struct {
 	PrechargedBackground  units.Energy
 	PowerDownBackground   units.Energy
 	SelfRefreshBackground units.Energy
+	// Retention audit (report-only; all zero when the spec carries no
+	// RefreshInterval). Refreshes counts ref commands issued.
+	// MaxRefreshInterval is the widest gap in slots between consecutive
+	// refreshes — including the trace edges, with slot 0 and any
+	// self-refresh window treated as refreshed — so a retention-clean
+	// trace keeps it at or under (MaxPostponedRefreshes+1)*tREFI.
+	// MissedRefreshDeadlines counts tREFI obligations served or abandoned
+	// past their JEDEC postponement deadline.
+	Refreshes              int64
+	MaxRefreshInterval     int64
+	MissedRefreshDeadlines int64
 }
 
 // Result closes the trace at the given end slot and reports the totals.
@@ -483,6 +566,26 @@ func (s *Simulator) Result(endSlot int64) Result {
 		SelfRefreshBackground: units.Energy(
 			s.statePower[StateSelfRefresh] * (float64(slots[StateSelfRefresh]) / clock)),
 	}
+	// Close the retention audit at endSlot without mutating the
+	// simulator: the tail from the last refresh to endSlot widens the
+	// observed gap, and obligations whose deadline falls inside the trace
+	// but were never served are missed — unless the trace ends parked in
+	// self-refresh, which covers retention on its own.
+	r.Refreshes = s.refCount
+	if s.refi > 0 {
+		gap, missed := s.maxRefGap, s.refMissed
+		if s.state != StateSelfRefresh {
+			if g := endSlot - s.lastRefSlot; g > gap {
+				gap = g
+			}
+			due := (endSlot-s.refBaseSlot)/s.refi - MaxPostponedRefreshes
+			if m := due - s.refCredit; m > 0 {
+				missed += m
+			}
+		}
+		r.MaxRefreshInterval = gap
+		r.MissedRefreshDeadlines = missed
+	}
 	// The counts map is only materialized when something was issued; an
 	// empty trace reports a nil map instead of allocating one.
 	var issued int64
@@ -525,6 +628,10 @@ func (s *Simulator) TimingSlots() (tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst int64
 
 // RefreshCycleSlots exposes the resolved tRFC in slots.
 func (s *Simulator) RefreshCycleSlots() int64 { return s.tRFC }
+
+// RefreshIntervalSlots exposes the resolved tREFI in slots (0 when the
+// spec carries no RefreshInterval; the retention audit is off then).
+func (s *Simulator) RefreshIntervalSlots() int64 { return s.refi }
 
 // PowerStateSlots exposes the resolved power-state constraints (in slots):
 // minimum CKE-low residency (tCKEmin), power-down exit to first valid

@@ -54,16 +54,24 @@ func RandomClosedPage(m *core.Model, accesses int, readShare float64, seed int64
 	rng := rand.New(rand.NewSource(seed))
 	s := New(m)
 	banks := m.D.Spec.Banks()
-	tRC, tRCD, _, tRAS, tRRD, tFAW, burst := s.TimingSlots()
+	tRC, tRCD, tRP, tRAS, tRRD, tFAW, burst := s.TimingSlots()
 
 	// Activate spacing honoring tRRD, tFAW/4 and same-bank tRC over the
-	// bank rotation.
+	// bank rotation. The tFAW term rounds up like Streaming's: floor would
+	// squeeze four activates into less than the window whenever tFAW is
+	// not a multiple of 4.
 	group := tRRD
-	if tFAW > 0 && tFAW/4 > group {
-		group = tFAW / 4
+	if tFAW > 0 && (tFAW+3)/4 > group {
+		group = (tFAW + 3) / 4
 	}
-	if banks > 0 && (tRC+int64(banks)-1)/int64(banks) > group {
-		group = (tRC + int64(banks) - 1) / int64(banks)
+	if banks > 0 {
+		// Same-bank turnaround over the rotation: the next activate on a
+		// bank must clear tRC and — when the burst drains past tRAS — the
+		// delayed precharge plus tRP.
+		cycle := maxI64(tRC, tRCD+burst+tRP)
+		if per := (cycle + int64(banks) - 1) / int64(banks); per > group {
+			group = per
+		}
 	}
 	if burst > group {
 		group = burst
@@ -81,8 +89,11 @@ func RandomClosedPage(m *core.Model, accesses int, readShare float64, seed int64
 		}
 		colSlot := base + tRCD
 		preSlot := base + tRAS
-		if preSlot <= colSlot {
-			preSlot = colSlot + 1
+		// The precharge must wait for both tRAS and the burst to drain
+		// (the simulator rejects a precharge that cuts off its own bank's
+		// burst).
+		if preSlot < colSlot+burst {
+			preSlot = colSlot + burst
 		}
 		cmds = append(cmds, Command{Slot: base, Op: desc.OpActivate, Bank: bank, Row: row})
 		cmds = append(cmds, Command{Slot: colSlot, Op: op, Bank: bank, Row: row})
@@ -92,12 +103,18 @@ func RandomClosedPage(m *core.Model, accesses int, readShare float64, seed int64
 }
 
 // RefreshOnly generates the standby-with-refresh trace over the given
-// number of refresh intervals.
+// number of refresh intervals. The spacing is the spec's tREFI, floored
+// at tRFC: a spec whose refresh cycle is as long as (or longer than) its
+// refresh interval would otherwise emit the next ref while the previous
+// one is still in progress, which the simulator rejects.
 func RefreshOnly(m *core.Model, intervals int) []Command {
 	spec := m.D.Spec
 	perInterval := int64(float64(spec.RefreshInterval) * float64(spec.ControlClock))
 	if perInterval < 1 {
 		perInterval = 1
+	}
+	if tRFC := New(m).RefreshCycleSlots(); perInterval < tRFC {
+		perInterval = tRFC
 	}
 	var cmds []Command
 	for i := 0; i < intervals; i++ {
