@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short legality lint
+.PHONY: all build vet test race bench bench-all bench-gate check serve-smoke fuzz-short legality legality-race lint
 
 all: check
 
@@ -38,12 +38,18 @@ bench:
 # Regression gate: rerun the bench snapshot into a scratch file and
 # compare it against the committed BENCH_trace.json; >10% regressions in
 # ns/op or cmds/s fail the build. Override BENCH_THRESHOLD for noisier
-# runners.
+# runners. The -floor line pins the sharded scheduler against its own
+# serial baseline from the same run (machine-independent): parallel
+# scheduling may never fall below 0.9x serial — on a single-core runner
+# the engine's serial fallback makes the two coincide, and on multi-core
+# any sharding overhead regression fails the gate.
 BENCH_THRESHOLD ?= 10
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Trace|Sweep|Server|Schedule' -benchmem . \
 		| $(GO) run ./tools/benchjson > BENCH_new.json
-	$(GO) run ./tools/benchjson -compare BENCH_trace.json -threshold $(BENCH_THRESHOLD) BENCH_new.json
+	$(GO) run ./tools/benchjson -compare BENCH_trace.json -threshold $(BENCH_THRESHOLD) \
+		-floor 'BenchmarkSchedule4ChParallel:req/s>=0.9*BenchmarkSchedule4Ch:req/s' \
+		BENCH_new.json
 
 # Every benchmark in the repo (the full reproduction log).
 bench-all:
@@ -66,12 +72,21 @@ fuzz-short:
 	$(GO) test -fuzz FuzzAccessScanner -fuzztime $(FUZZTIME) -run '^$$' ./internal/ctl/
 
 # Retention legality sweep: every page policy × address map × channel
-# count × low-power combination is scheduled and replayed, asserting
-# zero timing violations and zero missed tREFI deadlines. Part of the
-# regular test pass too; this target runs it uncached and on its own so
-# the refresh-scheduler contract has a named gate.
+# count × low-power combination is scheduled and replayed — both
+# two-phase and through the fused streaming pipeline — asserting zero
+# timing violations, zero missed tREFI deadlines, and fused/two-phase
+# bit-identity. Part of the regular test pass too; this target runs it
+# uncached and on its own so the refresh-scheduler contract has a named
+# gate.
+LEGALITY_TESTS = TestScheduledTraceLegalitySweep|TestRefreshSurvivesPowerDown|TestFusedMatchesTwoPhase|TestScheduleParallelMatchesSerial
 legality:
-	$(GO) test ./internal/ctl -run 'TestScheduledTraceLegalitySweep|TestRefreshSurvivesPowerDown' -count=1
+	$(GO) test ./internal/ctl -run '$(LEGALITY_TESTS)' -count=1
+
+# The same sweep under the race detector, plus the pipeline's error-path
+# shutdown tests: proves the sharded schedule → replay handoff is
+# properly synchronized, including mid-stream source and sink failures.
+legality-race:
+	$(GO) test -race ./internal/ctl -run '$(LEGALITY_TESTS)|TestScheduleInto' -count=1
 
 # The full gate: everything CI (and a reviewer) expects to be green.
 # CI runs the race detector as its own job (ci.yml "race"), so check

@@ -67,7 +67,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed for -gen")
 	idle := flag.Int64("idle", 0, "with -gen: enter power-down in idle gaps of at least this many slots (0 = never)")
 	calib := cli.OverlayVar()
+	prof := cli.ProfileVars()
 	flag.Parse()
+	defer prof.Start("dramtrace")()
 
 	// -format binary selects the dtb trace encoding for -gen output; the
 	// replay report itself is text or json.

@@ -497,6 +497,51 @@ func ScheduleAccesses(m *Model, reqs []AccessRequest, opts ControllerOptions) ([
 	return ctl.ScheduleRequests(m, reqs, opts)
 }
 
+// ScheduleSink consumes a scheduled command stream channel by channel:
+// one channel's batches arrive in trace order, distinct channels may be
+// delivered concurrently, and the batch slice is reused after Consume
+// returns (see ctl.Sink).
+type ScheduleSink = ctl.Sink
+
+// DiscardScheduleSink drops every batch — schedule-only runs that want
+// stats without materializing or replaying the trace.
+var DiscardScheduleSink ScheduleSink = ctl.Discard
+
+// NewReplaySink adapts a Replayer to the streaming scheduler: each
+// channel's batches issue directly on the matching per-channel
+// simulator.
+func NewReplaySink(r *Replayer) ScheduleSink { return ctl.ReplaySink(r) }
+
+// ScheduleStream schedules an access trace read from r (text or .dab,
+// sniffed) and streams the commands into sink as bounded per-channel
+// batches, never materializing the merged trace: peak memory is
+// O(batch) instead of O(commands), and the command sequences and stats
+// are bit-identical to ScheduleTrace's.
+func ScheduleStream(m *Model, r io.Reader, opts ControllerOptions, sink ScheduleSink) (ScheduleStats, error) {
+	c, err := ctl.NewController(m, opts)
+	if err != nil {
+		return ScheduleStats{}, err
+	}
+	return c.ScheduleInto(ctl.NewAccessSource(r), sink)
+}
+
+// ScheduleAndReplay schedules an access trace and replays it as it is
+// scheduled — the fused pipeline: scheduling and energy accounting
+// overlap, the merged command slice never exists, and the stats and
+// energy result are bit-identical to ScheduleTrace followed by a replay
+// of the materialized trace (the accounting ends one burst after the
+// last command, like ReplayTrace). The replayer inherits the
+// controller's channel count; ropts selects its worker pool.
+func ScheduleAndReplay(m *Model, r io.Reader, opts ControllerOptions, ropts ReplayOptions) (ScheduleStats, TraceResult, error) {
+	return ctl.ScheduleReplay(m, r, opts, ropts)
+}
+
+// ScheduleAndReplayAccesses is ScheduleAndReplay over an in-memory
+// access-request slice.
+func ScheduleAndReplayAccesses(m *Model, reqs []AccessRequest, opts ControllerOptions, ropts ReplayOptions) (ScheduleStats, TraceResult, error) {
+	return ctl.ScheduleReplayRequests(m, reqs, opts, ropts)
+}
+
 // ParseControllerPolicy parses a page-policy flag value: "open",
 // "closed" or "timeout=N" (N the idle window in slots, returned
 // separately).

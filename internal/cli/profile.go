@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler is the shared -cpuprofile/-memprofile registration of the
+// cmd/* binaries, so scheduling and replay hot paths can be profiled
+// without recompiling:
+//
+//	prof := cli.ProfileVars()
+//	flag.Parse()
+//	defer prof.Start(tool)()
+//
+// Start begins CPU profiling when -cpuprofile was given; the returned
+// stop function flushes the CPU profile and writes the -memprofile heap
+// snapshot (after a GC, so it reflects live memory). Both files are in
+// the pprof format `go tool pprof` reads. Error exits through
+// cli.Fatal* bypass the deferred stop — profiles cover successful runs.
+type Profiler struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// ProfileVars registers the -cpuprofile and -memprofile flags.
+func ProfileVars() *Profiler {
+	return &Profiler{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns the function that
+// flushes both profiles; defer it in main after flag.Parse.
+func (p *Profiler) Start(tool string) func() {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			Fatal(tool, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			Fatal(tool, err)
+		}
+		p.f = f
+	}
+	return func() { p.stop(tool) }
+}
+
+func (p *Profiler) stop(tool string) {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			Fatal(tool, err)
+		}
+		p.f = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			Fatal(tool, err)
+		}
+		runtime.GC() // the heap profile should show live memory, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			Fatal(tool, err)
+		}
+		if err := f.Close(); err != nil {
+			Fatal(tool, err)
+		}
+	}
+}

@@ -341,3 +341,7 @@ func (s *sliceSource) Scan() bool {
 func (s *sliceSource) Request() Request { return s.reqs[s.i-1] }
 
 func (s *sliceSource) Err() error { return nil }
+
+// Len reports the requests remaining — the scheduler uses it to pre-size
+// its per-channel buffers when the source is an in-memory slice.
+func (s *sliceSource) Len() int { return len(s.reqs) - s.i }

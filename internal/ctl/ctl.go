@@ -25,6 +25,15 @@ package ctl
 // same options -> byte-identical trace. See DESIGN §12 for the legality
 // argument (each emit mirrors one Simulator check) and §13 for the
 // refresh scheduler's determinism and retention argument.
+//
+// All of that state is channel-local, which is what the sharded
+// execution in this file exploits: requests demultiplex by the mapper's
+// channel bits into per-channel queues, each channel schedules as an
+// independent job on the batch engine, and only the end-of-trace
+// refresh-debt fixpoint (which needs the global trace end) runs after
+// the barrier. DESIGN §14 has the full argument; pipeline.go has the
+// streaming variant that feeds per-channel sinks without materializing
+// the merged trace.
 
 import (
 	"fmt"
@@ -35,6 +44,7 @@ import (
 
 	"drampower/internal/core"
 	"drampower/internal/desc"
+	"drampower/internal/engine"
 	"drampower/internal/trace"
 )
 
@@ -133,6 +143,18 @@ type Options struct {
 	// pre-refresh controller behavior, kept for A/B comparisons. The
 	// replay auditor will report the missed deadlines.
 	DisableRefresh bool
+
+	// Workers bounds the per-channel scheduling parallelism (engine
+	// semantics: <= 0 selects one worker per CPU, 1 schedules serially).
+	// The worker count never changes the output: per-channel state is
+	// independent and stats merge in channel order.
+	Workers int
+
+	// Pool, when set, runs the channel jobs on a shared long-lived
+	// engine pool instead of per-call goroutines (see
+	// engine.Options.Pool); the dramserved server threads its pool
+	// through here so concurrent requests share one bounded worker set.
+	Pool *engine.Pool
 }
 
 // Stats summarizes one scheduling run.
@@ -230,6 +252,13 @@ type chanState struct {
 	refUntil  int64 // previous refresh completes (tRFC) at this slot
 	refBase   int64 // epoch origin: 0, or the last srx slot
 	refCredit int64 // refreshes issued since refBase
+
+	// stats accumulates this channel's share of the run: every field is
+	// an additive counter, so summing the channels in index order
+	// (sumStats) reproduces the single-accumulator totals exactly — the
+	// property that lets the channels schedule concurrently without
+	// sharing a stats struct.
+	stats Stats
 }
 
 // Controller schedules one access stream. It is single-use: build with
@@ -246,8 +275,6 @@ type Controller struct {
 	tRFC                                    int64
 	tREFI                                   int64 // resolved refresh interval (0 = refresh off)
 	maxPost                                 int64 // postponement bound (obligations)
-
-	stats Stats
 }
 
 // NewController builds a controller for the model. The zero Options
@@ -323,6 +350,9 @@ func (c *Controller) BanksPerChannel() int {
 	return len(c.chans[0].banks)
 }
 
+// Channels returns the resolved channel count.
+func (c *Controller) Channels() int { return len(c.chans) }
+
 // Mapper returns the address mapper in use.
 func (c *Controller) Mapper() *Mapper { return c.mapper }
 
@@ -348,7 +378,7 @@ func (c *Controller) emit(ch *chanState, want int64, op desc.Op, bank, row int) 
 	slot := maxI64(want, ch.now+1)
 	ch.cmds = append(ch.cmds, trace.Command{Slot: slot, Op: op, Bank: bank, Row: row})
 	ch.now = slot
-	c.stats.Commands++
+	ch.stats.Commands++
 	return slot
 }
 
@@ -438,7 +468,7 @@ func (c *Controller) sweepTimeouts(ch *chanState, t int64) {
 			return
 		}
 		c.precharge(ch, best, bestExpiry)
-		c.stats.TimeoutPrecharges++
+		ch.stats.TimeoutPrecharges++
 	}
 }
 
@@ -489,9 +519,9 @@ func (c *Controller) issueRef(ch *chanState, want int64) int64 {
 	slot := c.emit(ch, want, desc.OpRefresh, 0, 0)
 	ch.refUntil = slot + c.tRFC
 	ch.refCredit++
-	c.stats.Refreshes++
+	ch.stats.Refreshes++
 	if slot > c.refDue(ch, ch.refCredit) {
-		c.stats.PostponedRefreshes++
+		ch.stats.PostponedRefreshes++
 	}
 	return slot
 }
@@ -505,7 +535,7 @@ func (c *Controller) issueRef(ch *chanState, want int64) int64 {
 func (c *Controller) forceRefresh(ch *chanState, t int64) {
 	for c.refDeadline(ch, ch.refCredit+1) <= maxI64(t, ch.now)+c.tREFI {
 		c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
-		c.stats.ForcedRefreshes++
+		ch.stats.ForcedRefreshes++
 	}
 }
 
@@ -537,13 +567,13 @@ func (c *Controller) fillGap(ch *chanState, start int64) {
 			}
 			if c.tREFI > 0 && c.refDeadline(ch, ch.refCredit+1) < enter {
 				c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
-				c.stats.ForcedRefreshes++
+				ch.stats.ForcedRefreshes++
 				continue
 			}
 			c.emit(ch, enter, trace.OpSelfRefreshEnter, 0, 0)
 			c.emit(ch, exit, trace.OpSelfRefreshExit, 0, 0)
 			ch.exitValid = exit + c.tXS
-			c.stats.SelfRefreshes++
+			ch.stats.SelfRefreshes++
 			if c.tREFI > 0 {
 				ch.refBase = exit
 				ch.refCredit = 0
@@ -579,12 +609,12 @@ func (c *Controller) fillGap(ch *chanState, start int64) {
 				c.emit(ch, enter, trace.OpPowerDownEnter, 0, 0)
 				c.emit(ch, exit, trace.OpPowerDownExit, 0, 0)
 				ch.exitValid = exit + c.tXP
-				c.stats.PowerDowns++
+				ch.stats.PowerDowns++
 			}
 		}
 		c.issueRef(ch, due)
 		if must && !fits {
-			c.stats.ForcedRefreshes++ // deadline inside the gap: issue even if it delays the request
+			ch.stats.ForcedRefreshes++ // deadline inside the gap: issue even if it delays the request
 		}
 	}
 
@@ -597,7 +627,7 @@ func (c *Controller) fillGap(ch *chanState, start int64) {
 			c.emit(ch, enter, trace.OpPowerDownEnter, 0, 0)
 			c.emit(ch, exit, trace.OpPowerDownExit, 0, 0)
 			ch.exitValid = exit + c.tXP
-			c.stats.PowerDowns++
+			ch.stats.PowerDowns++
 		}
 	}
 }
@@ -634,13 +664,13 @@ func (c *Controller) request(ch *chanState, co Coord, write bool, t int64) {
 	b := &ch.banks[bi]
 	switch {
 	case b.open && b.row == co.Row:
-		c.stats.RowHits++
+		ch.stats.RowHits++
 	case b.open:
-		c.stats.RowConflicts++
+		ch.stats.RowConflicts++
 		c.precharge(ch, bi, t)
 		c.activate(ch, bi, co.Row, t)
 	default:
-		c.stats.RowMisses++
+		ch.stats.RowMisses++
 		c.activate(ch, bi, co.Row, t)
 	}
 	c.column(ch, bi, write, t)
@@ -648,73 +678,232 @@ func (c *Controller) request(ch *chanState, co Coord, write bool, t int64) {
 		c.precharge(ch, bi, t)
 	}
 	if write {
-		c.stats.Writes++
+		ch.stats.Writes++
 	} else {
-		c.stats.Reads++
+		ch.stats.Reads++
 	}
-	c.stats.Requests++
+	ch.stats.Requests++
+}
+
+// mappedReq is one demultiplexed request: validated, mapped to its
+// channel-local device coordinates, and queued for the per-channel
+// scheduler. At 24 bytes it is also smaller than the ~3 commands it
+// expands into, so queueing requests (not commands) is the cheaper side
+// to buffer.
+type mappedReq struct {
+	slot  int64
+	row   int32
+	bank  int32
+	write bool
+}
+
+// checkAndMap validates FIFO arrival order and maps one request to
+// device coordinates — the demultiplex step shared by the materializing
+// (Schedule) and streaming (ScheduleInto) front-ends, so both report
+// identical errors at identical request ordinals.
+func (c *Controller) checkAndMap(req Request, idx int, last *int64) (Coord, error) {
+	if req.Slot < *last {
+		return Coord{}, &ScheduleError{Index: idx, Req: req,
+			Msg: fmt.Sprintf("out of order (previous request at slot %d)", *last)}
+	}
+	*last = req.Slot
+	co, err := c.mapper.Map(req.Addr)
+	if err != nil {
+		return Coord{}, &ScheduleError{Index: idx, Req: req, Msg: err.Error(), err: err}
+	}
+	return co, nil
+}
+
+// sourceLen reports how many requests remain in src when the source
+// knows (in-memory slices), so the demux queues and command buffers can
+// be sized up front instead of growing by append doubling.
+func sourceLen(src Source) (int, bool) {
+	if s, ok := src.(interface{ Len() int }); ok {
+		return s.Len(), true
+	}
+	return 0, false
+}
+
+// demux drains the source into per-channel request queues. On error the
+// queues hold the valid prefix (everything before the failing request),
+// which the caller still schedules so partial stats match the old
+// serial accumulation exactly.
+func (c *Controller) demux(src Source, queues [][]mappedReq) error {
+	var last int64 = -1
+	idx := 0
+	for src.Scan() {
+		req := src.Request()
+		co, err := c.checkAndMap(req, idx, &last)
+		if err != nil {
+			return err
+		}
+		queues[co.Channel] = append(queues[co.Channel],
+			mappedReq{slot: req.Slot, row: int32(co.Row), bank: int32(co.Bank), write: req.Write})
+		idx++
+	}
+	return src.Err()
+}
+
+// runChannel schedules one channel's demultiplexed requests in arrival
+// order. It touches only ch and the controller's immutable timing
+// fields — the independence that makes per-channel jobs safe to run
+// concurrently.
+func (c *Controller) runChannel(ch *chanState, reqs []mappedReq) {
+	for i := range reqs {
+		r := &reqs[i]
+		c.request(ch, Coord{Bank: int(r.bank), Row: int(r.row)}, r.write, r.slot)
+	}
+}
+
+// engineOpts is the batch-engine configuration for the channel jobs.
+func (c *Controller) engineOpts() engine.Options {
+	return engine.Options{Workers: c.opts.Workers, Pool: c.opts.Pool}
+}
+
+// runChannels fans the per-channel queues out as one scheduling job per
+// channel. The jobs cannot fail and share no mutable state; the engine's
+// deterministic job order plus the channel-order stats merge make the
+// outcome independent of the worker count.
+func (c *Controller) runChannels(queues [][]mappedReq) {
+	if len(c.chans) == 1 {
+		c.runChannel(&c.chans[0], queues[0])
+		return
+	}
+	_, _ = engine.Map(queues, func(i int, reqs []mappedReq) (struct{}, error) {
+		c.runChannel(&c.chans[i], reqs)
+		return struct{}{}, nil
+	}, c.engineOpts())
+}
+
+// presizeCmds sizes each channel's command buffer from its queued
+// request count (the BenchmarkSchedule* B/op noise was repeated append
+// doubling on these buffers). Three commands bound any request (worst
+// case PRE+ACT+RD/WR, or ACT+RD/WR+PRE under the closed policy);
+// refreshes add the channel-span steady-state floor, low-power windows
+// an entry/exit pair around gaps. The estimate is clamped — a silly
+// far-future arrival slot must not translate into a huge up-front
+// allocation; undersized buffers merely fall back to append growth.
+func (c *Controller) presizeCmds(queues [][]mappedReq) {
+	for i := range c.chans {
+		ch := &c.chans[i]
+		nq := len(queues[i])
+		if nq == 0 || cap(ch.cmds) > 0 {
+			continue
+		}
+		lowPower := c.opts.PowerDownAfter > 0 || c.opts.SelfRefreshAfter > 0
+		est := int64(3*nq + 8)
+		if c.tREFI > 0 {
+			refs := queues[i][nq-1].slot/c.tREFI + c.maxPost + 2
+			if lowPower {
+				refs *= 3 // the pde/pdx or sre/srx pair segmenting each refresh
+			}
+			if bound := int64(4*nq + 1024); refs > bound {
+				refs = bound
+			}
+			est += refs
+		}
+		if lowPower {
+			est += int64(nq)
+		}
+		ch.cmds = make([]trace.Command, 0, est)
+	}
+}
+
+// flushRefreshDebt retires the end-of-trace refresh debt: every channel
+// owes one refresh per tREFI elapsed up to the trace's global end — an
+// idle channel is still a powered channel whose cells leak, and
+// postponed obligations don't vanish at trace end; a trace spanning T
+// slots pays its steady-state floor(T/tREFI) refreshes, which is exactly
+// the paper's IDD5-over-tREFI refresh energy term. Serving the debt can
+// itself extend the end, so iterate to a fixed point (each round's new
+// debt shrinks by tRFC/tREFI, which NewController guarantees is < 1).
+//
+// The global end couples the channels, so this runs serially after the
+// per-channel jobs' barrier, always in channel-index order — the one
+// cross-channel step of a scheduling run.
+func (c *Controller) flushRefreshDebt() {
+	if c.tREFI <= 0 {
+		return
+	}
+	for {
+		end := int64(0)
+		for i := range c.chans {
+			end = maxI64(end, c.chans[i].now)
+		}
+		progress := false
+		for i := range c.chans {
+			ch := &c.chans[i]
+			for c.refDue(ch, ch.refCredit+1) <= end {
+				c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
+				ch.stats.ForcedRefreshes++
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// sumStats merges the per-channel stats in channel-index order. Every
+// field is additive except Slots, which is the latest slot any channel
+// emitted at.
+func (c *Controller) sumStats() Stats {
+	var st Stats
+	for i := range c.chans {
+		ch := &c.chans[i]
+		s := &ch.stats
+		st.Requests += s.Requests
+		st.Reads += s.Reads
+		st.Writes += s.Writes
+		st.RowHits += s.RowHits
+		st.RowMisses += s.RowMisses
+		st.RowConflicts += s.RowConflicts
+		st.Commands += s.Commands
+		st.TimeoutPrecharges += s.TimeoutPrecharges
+		st.PowerDowns += s.PowerDowns
+		st.SelfRefreshes += s.SelfRefreshes
+		st.Refreshes += s.Refreshes
+		st.PostponedRefreshes += s.PostponedRefreshes
+		st.ForcedRefreshes += s.ForcedRefreshes
+		st.Slots = maxI64(st.Slots, ch.now)
+	}
+	return st
 }
 
 // Schedule consumes the access stream and returns the merged command
 // trace (global bank indices, non-decreasing slots) plus scheduling
 // stats. Requests must arrive in non-decreasing slot order.
+//
+// Execution is sharded: the stream demultiplexes into per-channel
+// queues, the channels schedule concurrently (Options.Workers/Pool),
+// the refresh debt flushes serially after the barrier, and the merge is
+// trace.Interleave's fixed channel-order merge — so the trace and stats
+// are byte-identical to a serial run regardless of worker count.
 func (c *Controller) Schedule(src Source) ([]trace.Command, Stats, error) {
-	var last int64 = -1
-	idx := 0
-	for src.Scan() {
-		req := src.Request()
-		if req.Slot < last {
-			return nil, c.stats, &ScheduleError{Index: idx, Req: req,
-				Msg: fmt.Sprintf("out of order (previous request at slot %d)", last)}
-		}
-		last = req.Slot
-		co, err := c.mapper.Map(req.Addr)
-		if err != nil {
-			return nil, c.stats, &ScheduleError{Index: idx, Req: req, Msg: err.Error(), err: err}
-		}
-		c.request(&c.chans[co.Channel], co, req.Write, req.Slot)
-		idx++
-	}
-	if err := src.Err(); err != nil {
-		return nil, c.stats, err
-	}
-	// Retire the refresh debt: every channel owes one refresh per tREFI
-	// elapsed up to the trace's global end — an idle channel is still a
-	// powered channel whose cells leak, and postponed obligations don't
-	// vanish at trace end; a trace spanning T slots pays its steady-state
-	// floor(T/tREFI) refreshes, which is exactly the paper's IDD5-over-
-	// tREFI refresh energy term. Serving the debt can itself extend the
-	// end, so iterate to a fixed point (each round's new debt shrinks by
-	// tRFC/tREFI, which NewController guarantees is < 1).
-	if c.tREFI > 0 {
-		for {
-			end := int64(0)
-			for i := range c.chans {
-				end = maxI64(end, c.chans[i].now)
-			}
-			progress := false
-			for i := range c.chans {
-				ch := &c.chans[i]
-				for c.refDue(ch, ch.refCredit+1) <= end {
-					c.issueRef(ch, c.refDue(ch, ch.refCredit+1))
-					c.stats.ForcedRefreshes++
-					progress = true
-				}
-			}
-			if !progress {
-				break
-			}
+	queues := make([][]mappedReq, len(c.chans))
+	if n, ok := sourceLen(src); ok && n > 0 {
+		per := n/len(c.chans) + n/16 + 8
+		for i := range queues {
+			queues[i] = make([]mappedReq, 0, per)
 		}
 	}
+	demuxErr := c.demux(src, queues)
+	c.presizeCmds(queues)
+	c.runChannels(queues)
+	if demuxErr != nil {
+		// The valid prefix is scheduled (partial stats count everything
+		// before the failing request, as the serial loop's did), but no
+		// refresh flush and no merged trace.
+		return nil, c.sumStats(), demuxErr
+	}
+	c.flushRefreshDebt()
 	perChan := make([][]trace.Command, len(c.chans))
 	for i := range c.chans {
 		perChan[i] = c.chans[i].cmds
-		if n := len(c.chans[i].cmds); n > 0 {
-			c.stats.Slots = maxI64(c.stats.Slots, c.chans[i].cmds[n-1].Slot)
-		}
 	}
 	merged := trace.Interleave(perChan, c.BanksPerChannel())
-	return merged, c.stats, nil
+	return merged, c.sumStats(), nil
 }
 
 // Schedule builds a controller and schedules an access trace read from

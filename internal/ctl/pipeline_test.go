@@ -1,0 +1,312 @@
+package ctl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"drampower/internal/core"
+	"drampower/internal/trace"
+)
+
+// collectSink gathers per-channel command streams. Consume may run
+// concurrently for distinct channels; each channel writes only its own
+// slot, so no lock is needed.
+type collectSink struct {
+	chans [][]trace.Command
+}
+
+func newCollectSink(channels int) *collectSink {
+	return &collectSink{chans: make([][]trace.Command, channels)}
+}
+
+func (s *collectSink) Consume(ch int, batch []trace.Command) error {
+	s.chans[ch] = append(s.chans[ch], batch...) // must copy: the batch is reused
+	return nil
+}
+
+// TestScheduleParallelMatchesSerial pins the sharded scheduler's
+// determinism contract: the merged trace bytes and the stats are
+// independent of the worker count.
+func TestScheduleParallelMatchesSerial(t *testing.T) {
+	m := model(t)
+	for _, channels := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dch", channels), func(t *testing.T) {
+			gen := genOpts(5000, 0.6, 9)
+			gen.Channels = channels
+			reqs, err := GenerateAccesses(m, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Policy: PolicyTimeout, PageTimeout: 80, PowerDownAfter: 40, Channels: channels}
+			opts.Workers = 1
+			serialCmds, serialStats := schedule(t, m, reqs, opts)
+			opts.Workers = 4
+			parCmds, parStats := schedule(t, m, reqs, opts)
+			if serialStats != parStats {
+				t.Fatalf("stats differ: serial %+v, parallel %+v", serialStats, parStats)
+			}
+			var a, b bytes.Buffer
+			if err := trace.WriteBinaryTrace(&a, serialCmds); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteBinaryTrace(&b, parCmds); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("parallel schedule produced different trace bytes than serial")
+			}
+		})
+	}
+}
+
+// fusedReplay runs the streaming pipeline with a replayer sink and
+// closes the accounting at endSlack past the last command, matching the
+// two-phase test helpers.
+func fusedReplay(t *testing.T, m *core.Model, reqs []Request, opts Options, endSlack int64) (Stats, trace.Result) {
+	t.Helper()
+	c, err := NewController(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := trace.NewReplayer(m, trace.ReplayOptions{Channels: c.Channels(), Workers: opts.Workers})
+	stats, err := c.ScheduleInto(NewSliceSource(reqs), ReplaySink(rep))
+	if err != nil {
+		t.Fatalf("fused schedule: %v", err)
+	}
+	return stats, rep.Result(rep.Now() + endSlack)
+}
+
+// TestFusedMatchesTwoPhase is the fused pipeline's bit-identity pin over
+// a multi-round stream (three+ pipeline rounds, so round boundaries and
+// the final flush are all exercised): ScheduleInto with a replayer sink
+// must produce exactly the stats and energy result of Schedule followed
+// by a slice replay, and with a collecting sink exactly the per-channel
+// command streams behind Schedule's merged trace.
+func TestFusedMatchesTwoPhase(t *testing.T) {
+	m := model(t)
+	n := 3*schedBatch + 57 // spill into a fourth round
+	for _, channels := range []int{1, 4} {
+		t.Run(fmt.Sprintf("%dch", channels), func(t *testing.T) {
+			gen := genOpts(n, 0.6, 11)
+			gen.Channels = channels
+			reqs, err := GenerateAccesses(m, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Policy: PolicyOpen, PowerDownAfter: 64, Channels: channels, Workers: 4}
+			cmds, stats := schedule(t, m, reqs, opts)
+			res := replayAll(t, m, cmds, channels, m.D.Spec.Banks())
+
+			fstats, fres := fusedReplay(t, m, reqs, opts, 4)
+			if fstats != stats {
+				t.Fatalf("fused stats differ:\nfused     %+v\ntwo-phase %+v", fstats, stats)
+			}
+			if !reflect.DeepEqual(fres, res) {
+				t.Fatalf("fused result differs:\nfused     %+v\ntwo-phase %+v", fres, res)
+			}
+
+			// The streamed per-channel commands, interleaved, are the
+			// merged trace.
+			c, err := NewController(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := newCollectSink(channels)
+			if _, err := c.ScheduleInto(NewSliceSource(reqs), sink); err != nil {
+				t.Fatal(err)
+			}
+			merged := trace.Interleave(sink.chans, m.D.Spec.Banks())
+			if !reflect.DeepEqual(merged, cmds) {
+				t.Fatalf("streamed commands interleave to a different trace (%d vs %d commands)", len(merged), len(cmds))
+			}
+		})
+	}
+}
+
+// errAfterSource yields its requests, then fails with err — a source
+// error striking mid-stream (after several pipeline rounds, given
+// enough requests).
+type errAfterSource struct {
+	reqs []Request
+	i    int
+	err  error
+}
+
+func (s *errAfterSource) Scan() bool {
+	if s.i >= len(s.reqs) {
+		return false
+	}
+	s.i++
+	return true
+}
+
+func (s *errAfterSource) Request() Request { return s.reqs[s.i-1] }
+
+func (s *errAfterSource) Err() error {
+	if s.i >= len(s.reqs) {
+		return s.err
+	}
+	return nil
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (the pipeline's demultiplexer must exit on every error
+// path), failing after a generous deadline.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestScheduleIntoMidStreamError: a source error several rounds in must
+// shut the pipeline down cleanly — the error surfaces, the stats cover
+// exactly the valid prefix (matching the materializing path's partial
+// stats), the sink got exactly the prefix's commands, and no goroutine
+// leaks. Run under -race this also proves the demux/schedule handoff is
+// properly synchronized on the error path.
+func TestScheduleIntoMidStreamError(t *testing.T) {
+	m := model(t)
+	gen := genOpts(2*schedBatch+123, 0.5, 5)
+	gen.Channels = 2
+	reqs, err := GenerateAccesses(m, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Policy: PolicyClosed, Channels: 2, Workers: 4}
+	srcErr := errors.New("stream truncated")
+
+	base := runtime.NumGoroutine()
+	c, err := NewController(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newCollectSink(2)
+	stats, err := c.ScheduleInto(&errAfterSource{reqs: reqs, err: srcErr}, sink)
+	if !errors.Is(err, srcErr) {
+		t.Fatalf("got error %v, want %v", err, srcErr)
+	}
+	waitGoroutines(t, base)
+
+	// Partial-stats parity with the materializing path.
+	c2, err := NewController(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serialStats, serialErr := c2.Schedule(&errAfterSource{reqs: reqs, err: srcErr})
+	if !errors.Is(serialErr, srcErr) {
+		t.Fatalf("materializing path: got error %v, want %v", serialErr, srcErr)
+	}
+	if stats != serialStats {
+		t.Fatalf("partial stats differ:\nfused  %+v\nserial %+v", stats, serialStats)
+	}
+	if got := stats.Requests; got != int64(len(reqs)) {
+		t.Fatalf("prefix stats cover %d requests, want %d", got, len(reqs))
+	}
+
+	// An out-of-order request mid-stream reports the same ordinal as the
+	// serial path.
+	bad := make([]Request, len(reqs))
+	copy(bad, reqs)
+	badAt := schedBatch + 77
+	bad[badAt].Slot = 0
+	c3, err := NewController(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c3.ScheduleInto(NewSliceSource(bad), Discard)
+	var se *ScheduleError
+	if !errors.As(err, &se) || se.Index != badAt {
+		t.Fatalf("got %v, want ScheduleError at index %d", err, badAt)
+	}
+	waitGoroutines(t, base)
+}
+
+// failSink fails on a chosen channel after a chosen number of batches.
+type failSink struct {
+	ch    int
+	after int
+	seen  int
+	err   error
+}
+
+func (s *failSink) Consume(ch int, batch []trace.Command) error {
+	if ch == s.ch {
+		s.seen++
+		if s.seen > s.after {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// TestScheduleIntoSinkError: a sink error stops the pipeline — first
+// error wins (the earliest failing round, lowest channel), the stream
+// stops being consumed, and the demultiplexer goroutine exits without
+// leaking even though it may be blocked handing over the next round.
+func TestScheduleIntoSinkError(t *testing.T) {
+	m := model(t)
+	gen := genOpts(3*schedBatch, 0.5, 5)
+	gen.Channels = 4
+	reqs, err := GenerateAccesses(m, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Policy: PolicyClosed, Channels: 4, Workers: 4}
+	sinkErr := errors.New("sink full")
+
+	base := runtime.NumGoroutine()
+	c, err := NewController(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ScheduleInto(NewSliceSource(reqs), &failSink{ch: 1, after: 1, err: sinkErr})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("got error %v, want %v", err, sinkErr)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestScheduleReplayRequests covers the packaged fused entry point: it
+// must agree with the facade-level two-phase combination, including the
+// end-of-accounting slot (one burst after the last command).
+func TestScheduleReplayRequests(t *testing.T) {
+	m := model(t)
+	gen := genOpts(1200, 0.5, 40)
+	gen.Channels = 2
+	reqs, err := GenerateAccesses(m, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Policy: PolicyOpen, Channels: 2, Workers: 2}
+	stats, res, err := ScheduleReplayRequests(m, reqs, opts, trace.ReplayOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, tstats := schedule(t, m, reqs, opts)
+	rep := trace.NewReplayer(m, trace.ReplayOptions{Channels: 2})
+	if err := rep.ReplaySource(trace.NewSliceSource(cmds)); err != nil {
+		t.Fatal(err)
+	}
+	tres := rep.Result(rep.Now() + int64(m.BurstSlots()))
+	if stats != tstats {
+		t.Fatalf("stats differ:\nfused     %+v\ntwo-phase %+v", stats, tstats)
+	}
+	if !reflect.DeepEqual(res, tres) {
+		t.Fatalf("result differs:\nfused     %+v\ntwo-phase %+v", res, tres)
+	}
+}

@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -64,6 +65,19 @@ func TestScheduledTraceLegalitySweep(t *testing.T) {
 						res := replayAll(t, m, cmds, channels, m.D.Spec.Banks())
 						if res.MissedRefreshDeadlines != 0 {
 							t.Fatalf("replay reports %d missed tREFI deadlines", res.MissedRefreshDeadlines)
+						}
+						// The fused streaming pipeline (sharded scheduling
+						// feeding a replayer sink directly, Workers: 4) must
+						// reproduce the two-phase stats and energy result
+						// bit-for-bit across this whole sweep.
+						fopts := opts
+						fopts.Workers = 4
+						fstats, fres := fusedReplay(t, m, reqs, fopts, 4)
+						if fstats != stats {
+							t.Fatalf("fused stats differ:\nfused     %+v\ntwo-phase %+v", fstats, stats)
+						}
+						if !reflect.DeepEqual(fres, res) {
+							t.Fatalf("fused result differs:\nfused     %+v\ntwo-phase %+v", fres, res)
 						}
 						// Self-refresh covers retention on its own; outside
 						// it a long trace must pay its refresh floor.

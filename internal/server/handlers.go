@@ -17,6 +17,7 @@ import (
 	"drampower/internal/ctl"
 	"drampower/internal/desc"
 	"drampower/internal/engine"
+	"drampower/internal/metrics"
 	"drampower/internal/scaling"
 	"drampower/internal/schemes"
 	"drampower/internal/sensitivity"
@@ -794,23 +795,50 @@ func scheduleOptions(w http.ResponseWriter, q map[string][]string) (ctl.Options,
 	return opts, policyStr, true
 }
 
+// countingSink wraps a schedule sink to count the per-channel command
+// batches the fused pipeline emits. Consume runs concurrently across
+// channels; the counter is atomic.
+type countingSink struct {
+	sink    ctl.Sink
+	batches *metrics.Counter
+}
+
+func (cs countingSink) Consume(ch int, batch []trace.Command) error {
+	cs.batches.Inc()
+	return cs.sink.Consume(ch, batch)
+}
+
 // handleSchedule runs the memory-controller front-end server-side: the
 // request body is an access trace (text, or .dab binary — see
 // AccessBinaryContentType), scheduled into a legal command trace by the
-// page policy, address map and power-down thresholds in the query, then
-// replayed in place against the selected model (see selectModel). The
-// response carries both halves: the controller's row-buffer statistics
-// and the energy accounting of the trace it emitted — what dramctl
-// reports, as a service.
+// page policy, address map and power-down thresholds in the query, and
+// by default (replay=on) replayed as it is scheduled on the fused
+// schedule→replay pipeline — schedule and energy accounting in one
+// request, with peak memory bounded by the pipeline's batch size rather
+// than the trace length, and a response bit-identical to scheduling
+// first and replaying the materialized trace. With replay=off only the
+// scheduling half runs: the response keeps its shape but the replay-
+// derived energy fields are zero. Both halves run on the server's
+// shared worker pool.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	opts, policyStr, ok := scheduleOptions(w, r.URL.Query())
 	if !ok {
+		return
+	}
+	replay := true
+	switch v := r.URL.Query().Get("replay"); v {
+	case "", "on", "1":
+	case "off", "0":
+		replay = false
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad replay %q (want on or off)", v))
 		return
 	}
 	key, m, ok := s.selectModel(w, r)
 	if !ok {
 		return
 	}
+	opts.Pool = s.pool
 	ctrl, err := ctl.NewController(m, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -825,21 +853,27 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	} else {
 		src = ctl.NewAccessSource(rd)
 	}
-	cmds, stats, err := ctrl.Schedule(src)
+
+	// The scheduler's legality contract guarantees the fused replay
+	// cannot fail on well-formed input (a timing violation here would be
+	// a server bug), so every ScheduleInto error is a client-side input
+	// error.
+	var rep *trace.Replayer
+	sink := ctl.Discard
+	if replay {
+		rep = trace.NewReplayer(m, trace.ReplayOptions{Channels: ctrl.Channels(), Pool: s.pool})
+		sink = ctl.ReplaySink(rep)
+	}
+	stats, err := ctrl.ScheduleInto(src, countingSink{sink: sink, batches: s.scheduleBatches})
 	if err != nil {
 		writeParseAwareError(w, err, http.StatusBadRequest)
 		return
 	}
-	// Replay the scheduled commands in place (no serialize round trip):
-	// the scheduler's legality contract guarantees this cannot fail on
-	// well-formed input, so a replay error here is a server bug, not a
-	// client one.
-	rep := trace.NewReplayer(m, trace.ReplayOptions{Channels: opts.Channels, Pool: s.pool})
-	if err := rep.ReplaySource(trace.NewSliceSource(cmds)); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("scheduled trace failed to replay: %v", err))
-		return
+	var res trace.Result
+	if replay {
+		res = rep.Result(rep.Now() + int64(m.BurstSlots()))
+		s.scheduleReplays.Inc()
 	}
-	res := rep.Result(rep.Now() + int64(m.BurstSlots()))
 	s.scheduleRequests.Add(stats.Requests)
 	s.scheduleRowHits.Add(stats.RowHits)
 	s.scheduleCommands.Add(stats.Commands)

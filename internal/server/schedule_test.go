@@ -191,6 +191,78 @@ func TestScheduleResponseShape(t *testing.T) {
 	}
 }
 
+// TestScheduleReplayParam pins the replay query parameter: the default
+// and replay=on replay the scheduled commands in place (fused pipeline)
+// and are byte-identical; replay=off schedules only, returning the same
+// scheduler stats with zeroed energy accounting; anything else is a 400.
+// The batch/replay counters track the streamed rounds.
+func TestScheduleReplayParam(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	m, err := core.Build(desc.Sample1GbDDR3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, text := genAccessTrace(t, m, 300, 0.7, 10)
+
+	resp, def := post(t, hs.URL+"/v1/schedule?policy=closed", text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, def)
+	}
+	resp, on := post(t, hs.URL+"/v1/schedule?policy=closed&replay=on", text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay=on status %d: %s", resp.StatusCode, on)
+	}
+	if !bytes.Equal(def, on) {
+		t.Fatalf("replay=on differs from the default:\non:      %s\ndefault: %s", on, def)
+	}
+	if got := s.scheduleReplays.Value(); got != 2 {
+		t.Fatalf("scheduleReplays counter = %d, want 2", got)
+	}
+	batches := s.scheduleBatches.Value()
+	if batches == 0 {
+		t.Fatal("no command batches counted through the pipeline")
+	}
+
+	resp, off := post(t, hs.URL+"/v1/schedule?policy=closed&replay=off", text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay=off status %d: %s", resp.StatusCode, off)
+	}
+	var outOn, outOff ScheduleResponse
+	if err := json.Unmarshal(on, &outOn); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(off, &outOff); err != nil {
+		t.Fatal(err)
+	}
+	if outOff.Schedule != outOn.Schedule {
+		t.Fatalf("replay=off changed scheduler stats:\noff: %+v\non:  %+v", outOff.Schedule, outOn.Schedule)
+	}
+	if outOn.TotalJ <= 0 {
+		t.Fatalf("replay=on reported no energy: %+v", outOn)
+	}
+	if outOff.TotalJ != 0 || outOff.Slots != 0 {
+		t.Fatalf("replay=off still carries energy accounting: %+v", outOff)
+	}
+	if got := s.scheduleReplays.Value(); got != 2 {
+		t.Fatalf("replay=off bumped scheduleReplays to %d", got)
+	}
+	if got := s.scheduleBatches.Value(); got <= batches {
+		t.Fatalf("replay=off streamed no batches (counter %d -> %d)", batches, got)
+	}
+
+	resp, body := post(t, hs.URL+"/v1/schedule?replay=maybe", text)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("replay=maybe status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "replay") {
+		t.Fatalf("error %q does not mention replay", e.Error)
+	}
+}
+
 func TestScheduleErrors(t *testing.T) {
 	_, hs := newTestServer(t, Options{})
 	for name, tc := range map[string]struct {

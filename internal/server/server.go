@@ -147,6 +147,12 @@ type Server struct {
 	// scheduledRefreshes counts the all-bank ref commands the refresh
 	// scheduler emitted into /v1/schedule traces.
 	scheduledRefreshes *metrics.Counter
+	// scheduleBatches counts the per-channel command batches streamed
+	// through the fused schedule→replay pipeline; scheduleReplays the
+	// /v1/schedule requests that carried in-place energy accounting
+	// (replay=off requests schedule only).
+	scheduleBatches *metrics.Counter
+	scheduleReplays *metrics.Counter
 }
 
 // New builds a server. The caller owns the returned server's lifecycle:
@@ -183,6 +189,10 @@ func New(opts Options) *Server {
 		"DRAM commands emitted by /v1/schedule.")
 	s.scheduledRefreshes = s.reg.Counter("dramserved_scheduled_refreshes_total", "",
 		"All-bank refresh commands scheduled by /v1/schedule.")
+	s.scheduleBatches = s.reg.Counter("dramserved_schedule_batches_total", "",
+		"Per-channel command batches streamed through the fused schedule-replay pipeline.")
+	s.scheduleReplays = s.reg.Counter("dramserved_schedule_replays_total", "",
+		"Schedule requests replayed in place for energy accounting (replay=on).")
 
 	s.mux.Handle("POST /v1/evaluate", s.api(s.handleEvaluate))
 	s.mux.Handle("POST /v1/sweep", s.api(s.handleSweep))

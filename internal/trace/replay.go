@@ -271,6 +271,22 @@ func (r *Replayer) Replay(rd io.Reader) error {
 	return r.ReplaySource(NewSource(rd))
 }
 
+// RunChannel issues one channel's command batch on that channel's
+// simulator. Banks are channel-local (0..banks-1), not global — exactly
+// the numbering the scheduler's per-channel streams carry, so the fused
+// schedule→replay pipeline feeds batches here without the
+// Interleave-then-reshard round trip. Batches for one channel must
+// arrive in trace order; batches for distinct channels may be issued
+// concurrently (each channel owns its simulator). The accumulated state
+// is identical to replaying the interleaved trace: Run is a stateful
+// sequential loop, so batch boundaries don't exist to it.
+func (r *Replayer) RunChannel(ch int, cmds []Command) error {
+	if ch < 0 || ch >= len(r.sims) {
+		return fmt.Errorf("trace: channel %d outside the %d-channel replayer", ch, len(r.sims))
+	}
+	return r.sims[ch].Run(cmds)
+}
+
 // Now returns the latest slot any channel has reached.
 func (r *Replayer) Now() int64 {
 	var n int64

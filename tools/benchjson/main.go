@@ -41,6 +41,19 @@
 // contract).
 // Benchmarks present in only one snapshot are reported but never fail
 // the gate, so adding or retiring a benchmark does not break CI.
+//
+// -floor adds cross-benchmark constraints within one snapshot, so a
+// parallel variant can be pinned against its serial baseline from the
+// same run (machine-independent, unlike -compare against a committed
+// snapshot):
+//
+//	-floor 'BenchmarkSchedule4ChParallel:req/s>=0.9*BenchmarkSchedule4Ch:req/s'
+//	-floor 'BenchmarkTraceIssue:cmds/s>=1e6'
+//
+// The flag repeats. In conversion mode floors are checked against the
+// snapshot just produced; with -compare, against the new snapshot. A
+// floor that cannot be evaluated (missing benchmark or metric) fails —
+// a gate must not pass by silently losing its inputs.
 package main
 
 import (
@@ -80,6 +93,15 @@ func main() {
 	echo := flag.Bool("echo", false, "copy input lines to stderr")
 	compare := flag.String("compare", "", "baseline snapshot JSON; compare the positional snapshot against it and exit 1 on regressions")
 	threshold := flag.Float64("threshold", 10, "with -compare, tolerated regression percent in ns/op (rise) or any */s throughput metric (fall)")
+	var floors []floorRule
+	flag.Func("floor", "cross-benchmark floor 'Name:unit>=factor*Name:unit' (or an absolute 'Name:unit>=value'); repeatable, exit 1 when violated", func(spec string) error {
+		r, err := parseFloor(spec)
+		if err != nil {
+			return err
+		}
+		floors = append(floors, r)
+		return nil
+	})
 	flag.Parse()
 
 	if *compare != "" {
@@ -104,11 +126,33 @@ func main() {
 		for _, r := range bad {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", r)
 		}
-		if len(bad) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %g%% against %s\n", len(bad), *threshold, *compare)
+		viol := checkFloors(newS, floors)
+		for _, v := range viol {
+			fmt.Fprintln(os.Stderr, "benchjson: FLOOR", v)
+		}
+		if len(bad)+len(viol) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %g%%, %d floor violation(s) against %s\n", len(bad), *threshold, len(viol), *compare)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %g%% against %s\n", *threshold, *compare)
+		return
+	}
+
+	if len(floors) > 0 && flag.NArg() == 1 {
+		// Floor-check an existing snapshot without a baseline compare.
+		s, err := loadSummary(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		viol := checkFloors(s, floors)
+		for _, v := range viol {
+			fmt.Fprintln(os.Stderr, "benchjson: FLOOR", v)
+		}
+		if len(viol) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d floor(s) hold in %s\n", len(floors), flag.Arg(0))
 		return
 	}
 
@@ -142,6 +186,88 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if viol := checkFloors(out, floors); len(viol) > 0 {
+		for _, v := range viol {
+			fmt.Fprintln(os.Stderr, "benchjson: FLOOR", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// floorRule is one -floor constraint: lhs >= factor * rhs, where lhs and
+// rhs name a (benchmark, metric unit) pair. An absolute floor has no rhs
+// benchmark (rhsName == "") and reads lhs >= factor.
+type floorRule struct {
+	lhsName, lhsUnit string
+	factor           float64
+	rhsName, rhsUnit string
+}
+
+// parseFloor decodes 'Name:unit>=factor*Name:unit' or 'Name:unit>=value'.
+func parseFloor(spec string) (floorRule, error) {
+	lhs, rhs, ok := strings.Cut(spec, ">=")
+	if !ok {
+		return floorRule{}, fmt.Errorf("floor %q: want 'Name:unit>=factor*Name:unit'", spec)
+	}
+	var r floorRule
+	if r.lhsName, r.lhsUnit, ok = strings.Cut(strings.TrimSpace(lhs), ":"); !ok {
+		return floorRule{}, fmt.Errorf("floor %q: left side %q is not Name:unit", spec, lhs)
+	}
+	factor, ref, hasRef := strings.Cut(strings.TrimSpace(rhs), "*")
+	f, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
+	if err != nil {
+		return floorRule{}, fmt.Errorf("floor %q: bad factor %q", spec, factor)
+	}
+	r.factor = f
+	if hasRef {
+		if r.rhsName, r.rhsUnit, ok = strings.Cut(strings.TrimSpace(ref), ":"); !ok {
+			return floorRule{}, fmt.Errorf("floor %q: right side %q is not Name:unit", spec, ref)
+		}
+	}
+	return r, nil
+}
+
+// checkFloors evaluates every rule against one snapshot. Rules that
+// cannot be evaluated (missing benchmark or metric) are violations: a
+// gate must not pass by losing its inputs.
+func checkFloors(s summary, rules []floorRule) (viol []string) {
+	byName := make(map[string]benchmark, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		byName[baseName(b.Name)] = b
+	}
+	metric := func(name, unit string) (float64, error) {
+		b, ok := byName[name]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %s not in snapshot", name)
+		}
+		v, ok := b.Metrics[unit]
+		if !ok {
+			return 0, fmt.Errorf("%s reports no %s", name, unit)
+		}
+		return v, nil
+	}
+	for _, r := range rules {
+		lhs, err := metric(r.lhsName, r.lhsUnit)
+		if err != nil {
+			viol = append(viol, err.Error())
+			continue
+		}
+		bound := r.factor
+		desc := fmt.Sprintf("%g", r.factor)
+		if r.rhsName != "" {
+			rhs, err := metric(r.rhsName, r.rhsUnit)
+			if err != nil {
+				viol = append(viol, err.Error())
+				continue
+			}
+			bound = r.factor * rhs
+			desc = fmt.Sprintf("%g*%s:%s = %.4g", r.factor, r.rhsName, r.rhsUnit, bound)
+		}
+		if lhs < bound {
+			viol = append(viol, fmt.Sprintf("%s:%s = %.4g below floor %s", r.lhsName, r.lhsUnit, lhs, desc))
+		}
+	}
+	return viol
 }
 
 // parseLine decodes one `go test -bench` result line:

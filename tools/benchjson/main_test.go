@@ -90,6 +90,59 @@ func TestRegressionsGate(t *testing.T) {
 	}
 }
 
+// TestFloors pins the cross-benchmark floor gate: relative floors bind a
+// benchmark's metric to a factor of another's from the same snapshot,
+// absolute floors to a constant, and a floor whose inputs are missing is
+// itself a violation.
+func TestFloors(t *testing.T) {
+	s := summary{Benchmarks: []benchmark{
+		bench("BenchmarkSchedule4Ch-8", map[string]float64{"req/s": 1e6}),
+		bench("BenchmarkSchedule4ChParallel-8", map[string]float64{"req/s": 2.5e6}),
+	}}
+
+	parse := func(spec string) floorRule {
+		t.Helper()
+		r, err := parseFloor(spec)
+		if err != nil {
+			t.Fatalf("parseFloor(%q): %v", spec, err)
+		}
+		return r
+	}
+
+	// Holding floors: parallel >= 0.9x serial (it is 2.5x), and an
+	// absolute bound under the measured value.
+	hold := []floorRule{
+		parse("BenchmarkSchedule4ChParallel:req/s>=0.9*BenchmarkSchedule4Ch:req/s"),
+		parse("BenchmarkSchedule4Ch:req/s>=5e5"),
+	}
+	if viol := checkFloors(s, hold); len(viol) != 0 {
+		t.Fatalf("holding floors reported %v", viol)
+	}
+
+	// Violated relative floor: parallel demanded at 3x serial.
+	broken := []floorRule{parse("BenchmarkSchedule4ChParallel:req/s>=3*BenchmarkSchedule4Ch:req/s")}
+	viol := checkFloors(s, broken)
+	if len(viol) != 1 || !strings.Contains(viol[0], "BenchmarkSchedule4ChParallel:req/s") || !strings.Contains(viol[0], "below floor") {
+		t.Fatalf("violated floor reported %v", viol)
+	}
+
+	// Missing benchmark and missing metric both fail rather than pass.
+	missing := []floorRule{
+		parse("BenchmarkGone:req/s>=0.5*BenchmarkSchedule4Ch:req/s"),
+		parse("BenchmarkSchedule4Ch:cmds/s>=1"),
+	}
+	if viol := checkFloors(s, missing); len(viol) != 2 {
+		t.Fatalf("unevaluable floors reported %v, want 2 violations", viol)
+	}
+
+	// Parse errors.
+	for _, bad := range []string{"nope", "A:req/s>=x*B:req/s", "A>=2*B:req/s", "A:req/s>=0.9*B"} {
+		if _, err := parseFloor(bad); err == nil {
+			t.Errorf("parseFloor(%q) accepted", bad)
+		}
+	}
+}
+
 // TestRegressionsGateAnyThroughputUnit pins the generic gate: every
 // metric whose unit ends in "/s" is a throughput contract, not just
 // cmds/s, and multiple falling units on one benchmark all report (in
